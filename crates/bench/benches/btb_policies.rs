@@ -1,0 +1,71 @@
+//! Throughput of the BTB under each replacement policy: accesses per
+//! second on a recorded workload stream. Replacement-policy overhead is
+//! what bounds how long a trace the figure harness can afford.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+use btb_model::policies::{BeladyOpt, Ghrp, GhrpConfig, Hawkeye, HawkeyeConfig, Lru, Random, Srrip};
+use btb_model::{AccessContext, Btb, BtbConfig, ReplacementPolicy};
+use btb_trace::{NextUseOracle, Trace};
+use btb_workloads::{AppSpec, InputConfig};
+use thermometer::{HintTable, OptProfile, TemperatureConfig, ThermometerPolicy};
+
+const STREAM_LEN: usize = 100_000;
+
+fn workload() -> Trace {
+    AppSpec::by_name("kafka").expect("built-in").generate(InputConfig::input(0), STREAM_LEN)
+}
+
+fn drive<P: ReplacementPolicy>(trace: &Trace, oracle: &NextUseOracle, hints: &HintTable, policy: P) -> u64 {
+    let mut btb = Btb::new(BtbConfig::table1(), policy);
+    for (i, r) in trace.taken().enumerate() {
+        let ctx = AccessContext {
+            pc: r.pc,
+            target: r.target,
+            kind: r.kind,
+            hint: hints.hint(r.pc),
+            next_use: oracle.next_use(i),
+            access_index: i as u64,
+        };
+        black_box(btb.access(&ctx));
+    }
+    btb.stats().hits
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let trace = workload();
+    let oracle = NextUseOracle::build(&trace);
+    let profile = OptProfile::measure(&trace, BtbConfig::table1());
+    let hints = HintTable::from_profile(&profile, &TemperatureConfig::paper_default());
+    let accesses = trace.taken().count() as u64;
+
+    let mut group = c.benchmark_group("btb_access");
+    group.throughput(Throughput::Elements(accesses));
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("lru"), |b| {
+        b.iter(|| drive(&trace, &oracle, &hints, Lru::new()))
+    });
+    group.bench_function(BenchmarkId::from_parameter("random"), |b| {
+        b.iter(|| drive(&trace, &oracle, &hints, Random::with_seed(7)))
+    });
+    group.bench_function(BenchmarkId::from_parameter("srrip"), |b| {
+        b.iter(|| drive(&trace, &oracle, &hints, Srrip::new()))
+    });
+    group.bench_function(BenchmarkId::from_parameter("ghrp"), |b| {
+        b.iter(|| drive(&trace, &oracle, &hints, Ghrp::new(GhrpConfig::default())))
+    });
+    group.bench_function(BenchmarkId::from_parameter("hawkeye"), |b| {
+        b.iter(|| drive(&trace, &oracle, &hints, Hawkeye::new(HawkeyeConfig::default())))
+    });
+    group.bench_function(BenchmarkId::from_parameter("opt"), |b| {
+        b.iter(|| drive(&trace, &oracle, &hints, BeladyOpt::new()))
+    });
+    group.bench_function(BenchmarkId::from_parameter("thermometer"), |b| {
+        b.iter(|| drive(&trace, &oracle, &hints, ThermometerPolicy::new()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

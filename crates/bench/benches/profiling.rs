@@ -1,0 +1,42 @@
+//! Offline profiling cost: the paper's Fig. 14 argues the OPT simulation
+//! is cheap enough for production build pipelines. These benches measure
+//! the two offline stages: oracle construction and the OPT replay itself.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+use btb_model::BtbConfig;
+use btb_trace::{NextUseOracle, Trace};
+use btb_workloads::{AppSpec, InputConfig};
+use thermometer::{HintTable, OptProfile, TemperatureConfig};
+
+const STREAM_LEN: usize = 200_000;
+
+fn workload() -> Trace {
+    AppSpec::by_name("kafka").expect("built-in").generate(InputConfig::input(0), STREAM_LEN)
+}
+
+fn bench_profiling(c: &mut Criterion) {
+    let trace = workload();
+    let accesses = trace.taken().count() as u64;
+
+    let mut group = c.benchmark_group("profiling");
+    group.throughput(Throughput::Elements(accesses));
+    group.sample_size(10);
+    group.bench_function("next_use_oracle", |b| b.iter(|| black_box(NextUseOracle::build(&trace))));
+    group.bench_function("opt_profile", |b| {
+        b.iter(|| black_box(OptProfile::measure(&trace, BtbConfig::table1())))
+    });
+    group.finish();
+
+    let profile = OptProfile::measure(&trace, BtbConfig::table1());
+    let mut group = c.benchmark_group("hint_generation");
+    group.throughput(Throughput::Elements(profile.unique_branches() as u64));
+    group.bench_function("hint_table", |b| {
+        b.iter(|| black_box(HintTable::from_profile(&profile, &TemperatureConfig::paper_default())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_profiling);
+criterion_main!(benches);

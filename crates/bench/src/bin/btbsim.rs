@@ -1,0 +1,99 @@
+//! Simulates a branch-trace file through the FDIP frontend with a chosen
+//! BTB replacement policy.
+//!
+//! ```text
+//! btbsim kafka1.btbt --policy lru
+//! btbsim kafka1.btbt --policy thermometer --profile kafka0.btbt
+//! btbsim kafka1.btbt --policy opt --entries 4096 --ways 8
+//! ```
+
+use std::fs::File;
+use std::io::BufReader;
+use std::process::exit;
+
+use btb_model::policies::{BeladyOpt, Drrip, Fifo, Ghrp, GhrpConfig, Hawkeye, HawkeyeConfig, PseudoLru, Random, Ship};
+use btb_model::BtbConfig;
+use btb_trace::{read_binary, Trace};
+use thermometer::pipeline::{Pipeline, PipelineConfig};
+use thermometer::TemperatureConfig;
+use uarch_sim::{FrontendConfig, SimReport};
+
+const POLICIES: &str = "lru, fifo, plru, random, srrip, drrip, ship, ghrp, hawkeye, opt, thermometer";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first() else { usage("missing trace file") };
+    let policy = flag(&args, "--policy").unwrap_or_else(|| "lru".into());
+    let entries: usize =
+        flag(&args, "--entries").map_or(8192, |v| v.parse().unwrap_or_else(|_| usage("bad --entries")));
+    let ways: usize = flag(&args, "--ways").map_or(4, |v| v.parse().unwrap_or_else(|_| usage("bad --ways")));
+
+    let trace = load(path);
+    let pipeline = Pipeline::new(PipelineConfig {
+        frontend: FrontendConfig { btb: BtbConfig::new(entries, ways), ..FrontendConfig::table1() },
+        temperature: TemperatureConfig::paper_default(),
+    });
+
+    let report = match policy.as_str() {
+        "lru" => pipeline.run_lru(&trace),
+        "fifo" => pipeline.run_policy(&trace, Fifo::new()),
+        "plru" => pipeline.run_policy(&trace, PseudoLru::new()),
+        "random" => pipeline.run_policy(&trace, Random::with_seed(0x5eed)),
+        "srrip" => pipeline.run_srrip(&trace),
+        "drrip" => pipeline.run_policy(&trace, Drrip::new()),
+        "ship" => pipeline.run_policy(&trace, Ship::new()),
+        "ghrp" => pipeline.run_policy(&trace, Ghrp::new(GhrpConfig::default())),
+        "hawkeye" => pipeline.run_policy(&trace, Hawkeye::new(HawkeyeConfig::default())),
+        "opt" => pipeline.run_custom(&trace, BeladyOpt::new(), None, true, None),
+        "thermometer" => {
+            let profile_trace = match flag(&args, "--profile") {
+                Some(p) => load(&p),
+                None => {
+                    eprintln!("note: no --profile given; profiling on the simulated trace itself");
+                    trace.clone()
+                }
+            };
+            let hints = pipeline.profile_to_hints(&profile_trace);
+            eprintln!("profiled {} branches -> {} hinted", profile_trace.len(), hints.len());
+            pipeline.run_thermometer(&trace, &hints)
+        }
+        other => usage(&format!("unknown policy {other} (choose from: {POLICIES})")),
+    };
+    print_report(&report);
+}
+
+fn load(path: &str) -> Trace {
+    let file = File::open(path).unwrap_or_else(|e| usage(&format!("cannot open {path}: {e}")));
+    read_binary(&mut BufReader::new(file)).unwrap_or_else(|e| usage(&format!("cannot decode {path}: {e}")))
+}
+
+fn print_report(r: &SimReport) {
+    println!("workload            {}", r.workload);
+    println!("policy              {}", r.label);
+    println!("instructions        {}", r.instructions);
+    println!("cycles              {:.0}", r.cycles);
+    println!("IPC                 {:.4}", r.ipc());
+    println!("BTB accesses        {}", r.btb.accesses);
+    println!("BTB hit rate        {:.2}%", r.btb.hit_rate() * 100.0);
+    println!("BTB MPKI            {:.3}", r.btb_mpki());
+    println!("BTB bypasses        {}", r.btb.bypasses);
+    println!("cond mispredict     {:.3}%", r.cond_mispredict_rate() * 100.0);
+    println!("L2 instr MPKI       {:.3}", r.l2_impki());
+    println!("stall cycles: btb={:.0} direction={:.0} target={:.0} icache={:.0}",
+        r.btb_stall_cycles, r.direction_stall_cycles, r.target_stall_cycles, r.icache_stall_cycles);
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn usage(error: &str) -> ! {
+    if !error.is_empty() {
+        eprintln!("error: {error}");
+    }
+    eprintln!(
+        "usage: btbsim <trace.btbt> [--policy <name>] [--entries N] [--ways N] [--profile <trace.btbt>]\n\
+         policies: {POLICIES}"
+    );
+    exit(if error.is_empty() { 0 } else { 2 });
+}

@@ -1,0 +1,97 @@
+//! Regenerates the paper's figures.
+//!
+//! ```text
+//! figures all                  # every figure, prints tables
+//! figures fig11 fig12          # specific figures
+//! figures all --markdown out.md  # also write a Markdown report
+//! ```
+//!
+//! Scale knobs: `THERMO_TRACE_LEN`, `THERMO_CBP_COUNT`, `THERMO_CBP_LEN`,
+//! `THERMO_IPC1_COUNT`, `THERMO_IPC1_LEN`, `THERMO_APPS` (see `Scale`).
+
+use std::io::Write;
+use std::time::Instant;
+
+use thermometer_bench::{figure_by_id, FigureResult, Scale, FIGURE_IDS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut ids: Vec<String> = Vec::new();
+    let mut markdown_path: Option<String> = None;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--markdown" => {
+                markdown_path = Some(iter.next().unwrap_or_else(|| usage("missing path after --markdown")));
+            }
+            "--help" | "-h" => usage(""),
+            other => ids.push(other.to_owned()),
+        }
+    }
+    if ids.is_empty() {
+        usage("no figures requested");
+    }
+    if ids.iter().any(|id| id == "all") {
+        ids = FIGURE_IDS.iter().map(|s| s.to_string()).collect();
+    }
+
+    let scale = Scale::from_env();
+    eprintln!(
+        "scale: {} records/app, {} apps, cbp {}x{}, ipc1 {}x{}",
+        scale.trace_len,
+        scale.apps.len(),
+        scale.cbp_count,
+        scale.cbp_len,
+        scale.ipc1_count,
+        scale.ipc1_len
+    );
+
+    let mut results: Vec<FigureResult> = Vec::new();
+    for id in &ids {
+        let start = Instant::now();
+        match figure_by_id(id, &scale) {
+            Some(figs) => {
+                for fig in figs {
+                    println!("{fig}");
+                    results.push(fig);
+                }
+                eprintln!("[{id} done in {:.1?}]", start.elapsed());
+            }
+            None => {
+                eprintln!("unknown figure id: {id} (known: {})", FIGURE_IDS.join(", "));
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = markdown_path {
+        let mut out = String::from("# Regenerated figures\n\n");
+        out.push_str(&format!(
+            "Scale: {} records/app across {} applications; CBP-5 suite {}x{}; IPC-1 suite {}x{}.\n\n",
+            scale.trace_len,
+            scale.apps.len(),
+            scale.cbp_count,
+            scale.cbp_len,
+            scale.ipc1_count,
+            scale.ipc1_len
+        ));
+        for fig in &results {
+            out.push_str(&fig.to_markdown());
+        }
+        std::fs::File::create(&path)
+            .and_then(|mut f| f.write_all(out.as_bytes()))
+            .unwrap_or_else(|e| {
+                eprintln!("failed to write {path}: {e}");
+                std::process::exit(1);
+            });
+        eprintln!("wrote {path}");
+    }
+}
+
+fn usage(error: &str) -> ! {
+    if !error.is_empty() {
+        eprintln!("error: {error}");
+    }
+    eprintln!("usage: figures <fig01|...|fig21|all>... [--markdown <path>]");
+    std::process::exit(if error.is_empty() { 0 } else { 2 });
+}

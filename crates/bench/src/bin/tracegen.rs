@@ -1,0 +1,108 @@
+//! Generates synthetic branch traces and writes them in the `btb-trace`
+//! binary format.
+//!
+//! ```text
+//! tracegen list                              # available workloads
+//! tracegen app kafka --input 1 --records 2000000 --out kafka1.btbt
+//! tracegen suite cbp5 --count 8 --records 200000 --dir traces/
+//! tracegen info kafka1.btbt                  # summarize a trace file
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::exit;
+
+use btb_trace::{read_binary, write_binary, BranchKind, TraceStats};
+use btb_workloads::{cbp5_suite, ipc1_suite, AppSpec, InputConfig, SuiteParams};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("list") => list(),
+        Some("app") => app(&args[1..]),
+        Some("suite") => suite(&args[1..]),
+        Some("info") => info(&args[1..]),
+        _ => usage("missing or unknown subcommand"),
+    }
+}
+
+fn usage(error: &str) -> ! {
+    if !error.is_empty() {
+        eprintln!("error: {error}");
+    }
+    eprintln!(
+        "usage:\n  tracegen list\n  tracegen app <name> [--input N] [--records N] --out <file>\n  \
+         tracegen suite <cbp5|ipc1> [--count N] [--records N] --dir <dir>\n  tracegen info <file>"
+    );
+    exit(if error.is_empty() { 0 } else { 2 });
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn list() {
+    println!("{:18} {:>10} {:>9} {:>9}", "workload", "functions", "handlers", "blocks");
+    for spec in AppSpec::all() {
+        let stats = spec.build_program().stats();
+        println!("{:18} {:>10} {:>9} {:>9}", spec.name, spec.functions, spec.handlers, stats.blocks);
+    }
+}
+
+fn app(args: &[String]) {
+    let Some(name) = args.first() else { usage("app: missing workload name") };
+    let Some(spec) = AppSpec::by_name(name) else {
+        usage(&format!("unknown workload {name} (see `tracegen list`)"))
+    };
+    let input: u32 = flag(args, "--input").map_or(0, |v| v.parse().unwrap_or_else(|_| usage("bad --input")));
+    let records: usize =
+        flag(args, "--records").map_or(2_000_000, |v| v.parse().unwrap_or_else(|_| usage("bad --records")));
+    let Some(out) = flag(args, "--out") else { usage("app: missing --out") };
+
+    eprintln!("generating {name} input #{input}, {records} records ...");
+    let trace = spec.generate(InputConfig::input(input), records);
+    let file = File::create(&out).unwrap_or_else(|e| usage(&format!("cannot create {out}: {e}")));
+    let mut writer = BufWriter::new(file);
+    write_binary(&mut writer, &trace).unwrap_or_else(|e| usage(&format!("write failed: {e}")));
+    eprintln!("wrote {out}");
+}
+
+fn suite(args: &[String]) {
+    let Some(kind) = args.first().map(String::as_str) else { usage("suite: missing kind") };
+    let count: usize =
+        flag(args, "--count").map_or(16, |v| v.parse().unwrap_or_else(|_| usage("bad --count")));
+    let records: usize =
+        flag(args, "--records").map_or(200_000, |v| v.parse().unwrap_or_else(|_| usage("bad --records")));
+    let Some(dir) = flag(args, "--dir") else { usage("suite: missing --dir") };
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| usage(&format!("cannot create {dir}: {e}")));
+
+    let traces = match kind {
+        "cbp5" => cbp5_suite(SuiteParams::new(count, records)),
+        "ipc1" => ipc1_suite(SuiteParams::new(count, records)),
+        other => usage(&format!("unknown suite {other} (cbp5|ipc1)")),
+    };
+    for trace in &traces {
+        let path = format!("{dir}/{}.btbt", trace.name().replace('#', "_"));
+        let file = File::create(&path).unwrap_or_else(|e| usage(&format!("cannot create {path}: {e}")));
+        let mut writer = BufWriter::new(file);
+        write_binary(&mut writer, trace).unwrap_or_else(|e| usage(&format!("write failed: {e}")));
+        eprintln!("wrote {path}");
+    }
+}
+
+fn info(args: &[String]) {
+    let Some(path) = args.first() else { usage("info: missing file") };
+    let file = File::open(path).unwrap_or_else(|e| usage(&format!("cannot open {path}: {e}")));
+    let trace = read_binary(&mut BufReader::new(file))
+        .unwrap_or_else(|e| usage(&format!("cannot decode {path}: {e}")));
+    let stats = TraceStats::collect(&trace);
+    println!("trace          {}", trace.name());
+    println!("records        {}", trace.len());
+    println!("instructions   {}", stats.instructions);
+    println!("taken ratio    {:.3}", stats.taken_ratio());
+    println!("unique taken   {}", stats.unique_taken_branches());
+    println!("branch density {:.4}", stats.branch_density());
+    for kind in BranchKind::ALL {
+        println!("  {kind:6} {:6.2}%", stats.kind_fraction(kind) * 100.0);
+    }
+}

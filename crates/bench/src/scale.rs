@@ -1,0 +1,89 @@
+//! Experiment scale configuration.
+
+use btb_workloads::AppSpec;
+
+/// How big each experiment runs. Every knob has an environment override so
+/// figures can be regenerated quickly (smoke) or at full fidelity:
+///
+/// | Variable             | Default   | Meaning                               |
+/// |----------------------|-----------|---------------------------------------|
+/// | `THERMO_TRACE_LEN`   | 2,000,000 | records per application trace         |
+/// | `THERMO_CBP_COUNT`   | 96        | CBP-5-style traces (paper: 663)       |
+/// | `THERMO_CBP_LEN`     | 200,000   | records per CBP trace                 |
+/// | `THERMO_IPC1_COUNT`  | 50        | IPC-1-style traces (paper: 50)        |
+/// | `THERMO_IPC1_LEN`    | 400,000   | records per IPC-1 trace               |
+/// | `THERMO_APPS`        | all 13    | comma-separated application filter    |
+#[derive(Clone, Debug, PartialEq)]
+pub struct Scale {
+    /// Records per application trace.
+    pub trace_len: usize,
+    /// Number of CBP-5-style traces.
+    pub cbp_count: usize,
+    /// Records per CBP-5 trace.
+    pub cbp_len: usize,
+    /// Number of IPC-1-style traces.
+    pub ipc1_count: usize,
+    /// Records per IPC-1 trace.
+    pub ipc1_len: usize,
+    /// Applications under test.
+    pub apps: Vec<AppSpec>,
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+impl Scale {
+    /// Full-fidelity defaults with environment overrides.
+    pub fn from_env() -> Self {
+        let apps = match std::env::var("THERMO_APPS") {
+            Ok(filter) => {
+                let wanted: Vec<&str> = filter.split(',').map(str::trim).collect();
+                AppSpec::all().into_iter().filter(|s| wanted.contains(&s.name.as_str())).collect()
+            }
+            Err(_) => AppSpec::all(),
+        };
+        assert!(!apps.is_empty(), "THERMO_APPS filtered out every application");
+        Self {
+            trace_len: env_usize("THERMO_TRACE_LEN", 2_000_000),
+            cbp_count: env_usize("THERMO_CBP_COUNT", 96),
+            cbp_len: env_usize("THERMO_CBP_LEN", 200_000),
+            ipc1_count: env_usize("THERMO_IPC1_COUNT", 50),
+            ipc1_len: env_usize("THERMO_IPC1_LEN", 400_000),
+            apps,
+        }
+    }
+
+    /// A tiny scale for tests: three applications, short traces.
+    pub fn smoke() -> Self {
+        let apps = AppSpec::all()
+            .into_iter()
+            .filter(|s| ["kafka", "finagle-http", "python"].contains(&s.name.as_str()))
+            .collect();
+        Self {
+            trace_len: 60_000,
+            cbp_count: 6,
+            cbp_len: 20_000,
+            ipc1_count: 6,
+            ipc1_len: 20_000,
+            apps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scale_is_small() {
+        let s = Scale::smoke();
+        assert_eq!(s.apps.len(), 3);
+        assert!(s.trace_len <= 100_000);
+    }
+
+    #[test]
+    fn env_parsing_falls_back() {
+        assert_eq!(env_usize("THERMO_DOES_NOT_EXIST_XYZ", 7), 7);
+    }
+}

@@ -1,0 +1,177 @@
+//! Figure result structure and rendering (plain text and Markdown).
+
+use std::fmt;
+
+/// One labeled row of figure data.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Row {
+    /// Row label (application name, trace id, sweep point, ...).
+    pub label: String,
+    /// One value per column.
+    pub values: Vec<f64>,
+}
+
+impl Row {
+    /// Creates a row.
+    pub fn new(label: impl Into<String>, values: Vec<f64>) -> Self {
+        Self { label: label.into(), values }
+    }
+}
+
+/// The regenerated data behind one paper figure.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FigureResult {
+    /// Figure id, e.g. `"fig11"`.
+    pub id: String,
+    /// Human title (mirrors the paper's caption).
+    pub title: String,
+    /// Unit of the values ("speedup %", "MPKI", ...).
+    pub unit: String,
+    /// Column (series) names.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Row>,
+    /// Named aggregates ("Avg OPT", ...), printed under the table.
+    pub summary: Vec<(String, f64)>,
+    /// Free-form caveats / paper-vs-measured remarks.
+    pub notes: Vec<String>,
+}
+
+impl FigureResult {
+    /// Appends the per-column arithmetic mean as a final `Avg` row and
+    /// mirrors it into the summary.
+    pub fn push_average_row(&mut self) {
+        if self.rows.is_empty() {
+            return;
+        }
+        let cols = self.columns.len();
+        let mut sums = vec![0.0; cols];
+        for row in &self.rows {
+            for (s, v) in sums.iter_mut().zip(&row.values) {
+                *s += v;
+            }
+        }
+        let n = self.rows.len() as f64;
+        let avg: Vec<f64> = sums.into_iter().map(|s| s / n).collect();
+        for (name, value) in self.columns.iter().zip(&avg) {
+            self.summary.push((format!("Avg {name}"), *value));
+        }
+        self.rows.push(Row::new("Avg", avg));
+    }
+
+    /// Renders a GitHub-flavored Markdown section.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {} — {}\n\n", self.id, self.title));
+        out.push_str(&format!("*Unit: {}*\n\n", self.unit));
+        out.push_str(&format!("| {} | {} |\n", "workload", self.columns.join(" | ")));
+        out.push_str(&format!("|---|{}\n", "---|".repeat(self.columns.len())));
+        for row in &self.rows {
+            let cells: Vec<String> = row.values.iter().map(|v| format_value(*v)).collect();
+            out.push_str(&format!("| {} | {} |\n", row.label, cells.join(" | ")));
+        }
+        if !self.summary.is_empty() {
+            out.push('\n');
+            for (name, value) in &self.summary {
+                out.push_str(&format!("- **{name}**: {}\n", format_value(*value)));
+            }
+        }
+        for note in &self.notes {
+            out.push_str(&format!("\n> {note}\n"));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+fn format_value(v: f64) -> String {
+    if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+impl fmt::Display for FigureResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== {} — {} [{}] ===", self.id, self.title, self.unit)?;
+        let label_width = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .chain(std::iter::once("workload".len()))
+            .max()
+            .unwrap_or(8);
+        let col_width = self.columns.iter().map(|c| c.len()).max().unwrap_or(8).max(8);
+        write!(f, "{:label_width$}", "workload")?;
+        for c in &self.columns {
+            write!(f, "  {c:>col_width$}")?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write!(f, "{:label_width$}", row.label)?;
+            for v in &row.values {
+                write!(f, "  {:>col_width$}", format_value(*v))?;
+            }
+            writeln!(f)?;
+        }
+        for (name, value) in &self.summary {
+            writeln!(f, "  {name} = {}", format_value(*value))?;
+        }
+        for note in &self.notes {
+            writeln!(f, "  note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FigureResult {
+        let mut fig = FigureResult {
+            id: "figX".into(),
+            title: "Sample".into(),
+            unit: "speedup %".into(),
+            columns: vec!["A".into(), "B".into()],
+            rows: vec![Row::new("one", vec![1.0, 2.0]), Row::new("two", vec![3.0, 4.0])],
+            ..Default::default()
+        };
+        fig.push_average_row();
+        fig
+    }
+
+    #[test]
+    fn average_row_is_columnwise_mean() {
+        let fig = sample();
+        let avg = fig.rows.last().unwrap();
+        assert_eq!(avg.label, "Avg");
+        assert_eq!(avg.values, vec![2.0, 3.0]);
+        assert_eq!(fig.summary.len(), 2);
+    }
+
+    #[test]
+    fn markdown_has_table_and_summary() {
+        let md = sample().to_markdown();
+        assert!(md.contains("| workload | A | B |"));
+        assert!(md.contains("| one | 1.00 | 2.00 |"));
+        assert!(md.contains("**Avg A**"));
+    }
+
+    #[test]
+    fn display_renders_every_row() {
+        let text = sample().to_string();
+        assert!(text.contains("figX"));
+        assert_eq!(text.lines().filter(|l| l.starts_with("one") || l.starts_with("two")).count(), 2);
+    }
+
+    #[test]
+    fn value_formatting_scales() {
+        assert_eq!(format_value(12345.6), "12346");
+        assert_eq!(format_value(12.34), "12.3");
+        assert_eq!(format_value(1.234), "1.23");
+    }
+}

@@ -1,0 +1,160 @@
+//! BTB geometry configuration.
+
+/// User-facing BTB size configuration.
+///
+/// The paper's baseline is an 8192-entry, 4-way BTB (Table 1); the
+/// iso-storage Thermometer variant has 7979 entries, which is not a multiple
+/// of the associativity — the model absorbs the remainder into one final
+/// smaller set, preserving the exact entry count.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct BtbConfig {
+    entries: usize,
+    ways: usize,
+}
+
+impl BtbConfig {
+    /// Creates a configuration with `entries` total entries and
+    /// `ways`-associative sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways == 0` or `entries < ways`.
+    pub fn new(entries: usize, ways: usize) -> Self {
+        assert!(ways > 0, "associativity must be at least 1");
+        assert!(entries >= ways, "need at least one full set ({entries} entries, {ways} ways)");
+        Self { entries, ways }
+    }
+
+    /// The paper's baseline BTB: 8192 entries, 4-way (Table 1).
+    pub fn table1() -> Self {
+        Self::new(8192, 4)
+    }
+
+    /// The iso-storage Thermometer variant: 7979 entries, 4-way, so that
+    /// `7979 × (entry + 2 hint bits) = 8192 × entry = 75 KB` (paper §4.2).
+    pub fn iso_storage_7979() -> Self {
+        Self::new(7979, 4)
+    }
+
+    /// Total entry count.
+    pub fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// Associativity of full sets.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Resolves the concrete geometry.
+    pub fn geometry(&self) -> Geometry {
+        let full_sets = self.entries / self.ways;
+        let remainder = self.entries % self.ways;
+        Geometry { full_sets, ways: self.ways, remainder }
+    }
+}
+
+impl Default for BtbConfig {
+    /// Defaults to the paper's Table 1 baseline.
+    fn default() -> Self {
+        Self::table1()
+    }
+}
+
+/// Concrete BTB geometry: `full_sets` sets of `ways` entries, plus an
+/// optional remainder set of `remainder` entries.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Geometry {
+    full_sets: usize,
+    ways: usize,
+    remainder: usize,
+}
+
+impl Geometry {
+    /// Total number of sets (including the remainder set, if any).
+    pub fn sets(&self) -> usize {
+        self.full_sets + usize::from(self.remainder > 0)
+    }
+
+    /// Associativity of full sets (the remainder set is smaller).
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Number of ways in set `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn ways_of(&self, s: usize) -> usize {
+        assert!(s < self.sets(), "set {s} out of range");
+        if s < self.full_sets {
+            self.ways
+        } else {
+            self.remainder
+        }
+    }
+
+    /// Total entries.
+    pub fn entries(&self) -> usize {
+        self.full_sets * self.ways + self.remainder
+    }
+
+    /// Set index of a branch PC: instruction-granular modulo,
+    /// `(pc >> 2) mod sets` — the paper's address-modulo hash (§4.2)
+    /// applied above the 4-byte instruction alignment of our traces
+    /// (a plain byte-address modulo would strand 3/4 of the sets).
+    pub fn set_of(&self, pc: u64) -> usize {
+        ((pc >> 2) % self.sets() as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_geometry() {
+        let g = BtbConfig::table1().geometry();
+        assert_eq!(g.sets(), 2048);
+        assert_eq!(g.ways(), 4);
+        assert_eq!(g.entries(), 8192);
+        assert_eq!(g.ways_of(0), 4);
+        assert_eq!(g.ways_of(2047), 4);
+    }
+
+    #[test]
+    fn iso_storage_has_remainder_set() {
+        let g = BtbConfig::iso_storage_7979().geometry();
+        assert_eq!(g.entries(), 7979);
+        assert_eq!(g.sets(), 1995); // 1994 full sets + remainder set of 3
+        assert_eq!(g.ways_of(1993), 4);
+        assert_eq!(g.ways_of(1994), 3);
+    }
+
+    #[test]
+    fn set_mapping_is_instruction_modulo() {
+        let g = BtbConfig::new(64, 4).geometry();
+        assert_eq!(g.sets(), 16);
+        assert_eq!(g.set_of(0), 0);
+        assert_eq!(g.set_of(4), 1);
+        assert_eq!(g.set_of(16 * 4), 0, "wraps after 16 instructions");
+        assert_eq!(g.set_of(4 * (16 * 5 + 7)), 7);
+        // Aligned PCs cover every set.
+        let covered: std::collections::HashSet<usize> =
+            (0..64u64).map(|i| g.set_of(i * 4)).collect();
+        assert_eq!(covered.len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "associativity")]
+    fn zero_ways_rejected() {
+        let _ = BtbConfig::new(16, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one full set")]
+    fn too_small_rejected() {
+        let _ = BtbConfig::new(2, 4);
+    }
+}

@@ -1,0 +1,93 @@
+//! FIFO replacement — insertion-order eviction, no recency updates.
+//!
+//! A classic baseline (and the degenerate behaviour several BTB designs
+//! fall back to): cheaper metadata than LRU but blind to reuse, so it
+//! bounds LRU from below on reuse-friendly streams.
+
+use crate::policies::WayTable;
+use crate::policy::{AccessContext, ReplacementPolicy, Victim};
+use crate::{BtbEntry, Geometry};
+
+/// First-in first-out replacement.
+#[derive(Clone, Debug, Default)]
+pub struct Fifo {
+    filled_at: WayTable<u64>,
+    clock: u64,
+}
+
+impl Fifo {
+    /// Creates a FIFO policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn stamp(&mut self, set: usize, way: usize) {
+        self.clock += 1;
+        *self.filled_at.get_mut(set, way) = self.clock;
+    }
+}
+
+impl ReplacementPolicy for Fifo {
+    fn name(&self) -> &'static str {
+        "FIFO"
+    }
+
+    fn reset(&mut self, geometry: &Geometry) {
+        self.filled_at = WayTable::sized(geometry);
+        self.clock = 0;
+    }
+
+    fn on_hit(&mut self, _set: usize, _way: usize, _ctx: &AccessContext) {
+        // Hits do not refresh FIFO order.
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, _ctx: &AccessContext) {
+        self.stamp(set, way);
+    }
+
+    fn choose_victim(&mut self, set: usize, _resident: &[BtbEntry], _ctx: &AccessContext) -> Victim {
+        let row = self.filled_at.row(set);
+        Victim::Evict((0..row.len()).min_by_key(|&w| row[w]).expect("set non-empty"))
+    }
+
+    fn on_replace(&mut self, set: usize, way: usize, _evicted: &BtbEntry, _ctx: &AccessContext) {
+        self.stamp(set, way);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::Lru;
+    use crate::{Btb, BtbConfig};
+    use btb_trace::BranchKind;
+
+    #[test]
+    fn hits_do_not_protect_entries() {
+        // 1 set x 2 ways: fill a, b; hit a; insert c -> FIFO evicts a
+        // (oldest fill) even though it was just used; LRU would evict b.
+        let mut fifo = Btb::new(BtbConfig::new(2, 2), Fifo::new());
+        let mut lru = Btb::new(BtbConfig::new(2, 2), Lru::new());
+        for btb_hits in [false, true] {
+            let _ = btb_hits;
+        }
+        for pc in [10u64, 20, 10, 30] {
+            fifo.access_taken(pc, 0x1, BranchKind::UncondDirect, u64::MAX);
+            lru.access_taken(pc, 0x1, BranchKind::UncondDirect, u64::MAX);
+        }
+        assert!(fifo.probe(10).is_none(), "FIFO evicts the oldest fill");
+        assert!(lru.probe(10).is_some(), "LRU protects the recently used entry");
+    }
+
+    #[test]
+    fn eviction_order_is_fill_order() {
+        let mut btb = Btb::new(BtbConfig::new(4, 4), Fifo::new());
+        for pc in [1u64, 2, 3, 4] {
+            btb.access_taken(pc, 0x1, BranchKind::UncondDirect, u64::MAX);
+        }
+        for (inserted, evicted) in [(5u64, 1u64), (6, 2), (7, 3)] {
+            btb.access_taken(inserted, 0x1, BranchKind::UncondDirect, u64::MAX);
+            assert!(btb.probe(evicted).is_none(), "expected {evicted} evicted");
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! SHiP — Signature-based Hit Predictor (Wu et al., MICRO'11), adapted to
+//! the BTB as an extension baseline (cited in the paper's related work).
+//!
+//! SHiP predicts, per *signature* (here the branch PC), whether an
+//! inserted entry will be re-referenced. A Signature History Counter Table
+//! (SHCT) of saturating counters is trained on eviction (no re-reference →
+//! decrement) and on re-reference (increment). Insertions predicted
+//! never-re-referenced enter at distant RRPV, others at long — SRRIP
+//! handles the rest.
+
+use crate::policies::WayTable;
+use crate::policy::{AccessContext, ReplacementPolicy, Victim};
+use crate::{BtbEntry, Geometry};
+
+const RRPV_MAX: u8 = 3;
+const RRPV_LONG: u8 = 2;
+const SHCT_MAX: u8 = 7;
+const SHCT_BITS: u32 = 14;
+
+#[derive(Copy, Clone, Debug, Default)]
+struct EntryMeta {
+    rrpv: u8,
+    signature: u16,
+    referenced: bool,
+}
+
+/// The SHiP policy with PC signatures.
+#[derive(Clone, Debug)]
+pub struct Ship {
+    shct: Vec<u8>,
+    meta: WayTable<EntryMeta>,
+}
+
+impl Default for Ship {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Ship {
+    /// Creates a SHiP policy with a weakly-re-referenced initial SHCT.
+    pub fn new() -> Self {
+        Self { shct: vec![1; 1 << SHCT_BITS], meta: WayTable::default() }
+    }
+
+    fn signature(pc: u64) -> u16 {
+        let mut h = pc.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        h ^= h >> 33;
+        (h & ((1 << SHCT_BITS) - 1)) as u16
+    }
+
+    /// Whether the SHCT predicts this signature re-references.
+    pub fn predicts_reuse(&self, pc: u64) -> bool {
+        self.shct[usize::from(Self::signature(pc))] > 0
+    }
+
+    fn train(&mut self, signature: u16, reused: bool) {
+        let c = &mut self.shct[usize::from(signature)];
+        if reused {
+            *c = (*c + 1).min(SHCT_MAX);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    fn insert(&mut self, set: usize, way: usize, ctx: &AccessContext) {
+        let signature = Self::signature(ctx.pc);
+        let rrpv = if self.shct[usize::from(signature)] == 0 { RRPV_MAX } else { RRPV_LONG };
+        *self.meta.get_mut(set, way) = EntryMeta { rrpv, signature, referenced: false };
+    }
+}
+
+impl ReplacementPolicy for Ship {
+    fn name(&self) -> &'static str {
+        "SHiP"
+    }
+
+    fn reset(&mut self, geometry: &Geometry) {
+        self.shct.fill(1);
+        self.meta = WayTable::sized(geometry);
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _ctx: &AccessContext) {
+        let m = self.meta.get_mut(set, way);
+        m.rrpv = 0;
+        let (signature, first) = (m.signature, !m.referenced);
+        m.referenced = true;
+        if first {
+            self.train(signature, true);
+        }
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, ctx: &AccessContext) {
+        self.insert(set, way, ctx);
+    }
+
+    fn choose_victim(&mut self, set: usize, _resident: &[BtbEntry], _ctx: &AccessContext) -> Victim {
+        let row = self.meta.row_mut(set);
+        loop {
+            if let Some(way) = row.iter().position(|m| m.rrpv == RRPV_MAX) {
+                return Victim::Evict(way);
+            }
+            for m in row.iter_mut() {
+                m.rrpv += 1;
+            }
+        }
+    }
+
+    fn on_replace(&mut self, set: usize, way: usize, _evicted: &BtbEntry, ctx: &AccessContext) {
+        let m = *self.meta.get(set, way);
+        if !m.referenced {
+            self.train(m.signature, false);
+        }
+        self.insert(set, way, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::Srrip;
+    use crate::{Btb, BtbConfig};
+    use btb_trace::BranchKind;
+
+    #[test]
+    fn streaming_signatures_become_no_reuse() {
+        let mut ship = Ship::new();
+        ship.reset(&BtbConfig::new(4, 4).geometry());
+        let sig = Ship::signature(0x5000);
+        for _ in 0..4 {
+            ship.train(sig, false);
+        }
+        assert!(!ship.predicts_reuse(0x5000));
+        ship.train(sig, true);
+        assert!(ship.predicts_reuse(0x5000));
+    }
+
+    #[test]
+    fn scan_resistant_like_srrip_or_better() {
+        // Recurring working set + one-shot scans (each scan pc unique): the
+        // scan signature never... (unique pcs map to many signatures, each
+        // trained dead after eviction). SHiP should at least match SRRIP.
+        let mut stream = Vec::new();
+        let mut scan = 0x100000u64;
+        for _ in 0..400 {
+            for pc in [4u64, 8, 12] {
+                stream.push(pc);
+            }
+            for _ in 0..4 {
+                stream.push(scan);
+                scan += 4;
+            }
+        }
+        let drive = |policy: Box<dyn ReplacementPolicy>| {
+            let mut btb = Btb::new(BtbConfig::new(4, 4), policy);
+            for &pc in &stream {
+                btb.access_taken(pc, 0x1, BranchKind::UncondDirect, u64::MAX);
+            }
+            btb.stats().hits
+        };
+        let ship = drive(Box::<Ship>::default());
+        let srrip = drive(Box::new(Srrip::new()));
+        assert!(ship + 50 >= srrip, "SHiP {ship} far below SRRIP {srrip}");
+    }
+
+    #[test]
+    fn hits_only_train_once_per_residency() {
+        let mut btb = Btb::new(BtbConfig::new(4, 4), Ship::new());
+        for _ in 0..100 {
+            btb.access_taken(0x40, 0x1, BranchKind::UncondDirect, u64::MAX);
+        }
+        // Counter saturates at most at SHCT_MAX; the point is no overflow
+        // and reuse stays predicted.
+        assert!(btb.policy().predicts_reuse(0x40));
+    }
+}

@@ -1,0 +1,132 @@
+//! SRRIP — Static Re-Reference Interval Prediction (Jaleel et al., ISCA'10),
+//! adapted to the BTB as in the paper (§2.3).
+//!
+//! Every entry carries a 2-bit Re-Reference Prediction Value (RRPV). New
+//! entries are inserted with a *long* re-reference prediction (RRPV = 2),
+//! i.e. assumed BTB-averse; a hit promotes the entry to *near-immediate*
+//! (RRPV = 0), marking it BTB-friendly. The victim is any entry at the
+//! *distant* value (RRPV = 3); when none exists, all RRPVs age until one
+//! reaches it. This was the best-performing prior policy in the paper
+//! (1.5% mean speedup).
+
+use crate::policies::WayTable;
+use crate::policy::{AccessContext, ReplacementPolicy, Victim};
+use crate::{BtbEntry, Geometry};
+
+const RRPV_MAX: u8 = 3; // 2-bit counters
+const RRPV_LONG: u8 = 2; // insertion value ("long re-reference")
+
+/// SRRIP with hit-priority promotion, 2-bit RRPVs.
+#[derive(Clone, Debug, Default)]
+pub struct Srrip {
+    rrpv: WayTable<u8>,
+}
+
+impl Srrip {
+    /// Creates an SRRIP policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current RRPV of a way (exposed for tests and ablations).
+    pub fn rrpv(&self, set: usize, way: usize) -> u8 {
+        *self.rrpv.get(set, way)
+    }
+}
+
+impl ReplacementPolicy for Srrip {
+    fn name(&self) -> &'static str {
+        "SRRIP"
+    }
+
+    fn reset(&mut self, geometry: &Geometry) {
+        self.rrpv = WayTable::sized(geometry);
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, _ctx: &AccessContext) {
+        *self.rrpv.get_mut(set, way) = 0;
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, _ctx: &AccessContext) {
+        *self.rrpv.get_mut(set, way) = RRPV_LONG;
+    }
+
+    fn choose_victim(&mut self, set: usize, _resident: &[BtbEntry], _ctx: &AccessContext) -> Victim {
+        let row = self.rrpv.row_mut(set);
+        loop {
+            if let Some(way) = row.iter().position(|&v| v == RRPV_MAX) {
+                return Victim::Evict(way);
+            }
+            for v in row.iter_mut() {
+                *v += 1;
+            }
+        }
+    }
+
+    fn on_replace(&mut self, set: usize, way: usize, _evicted: &BtbEntry, _ctx: &AccessContext) {
+        *self.rrpv.get_mut(set, way) = RRPV_LONG;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policies::Lru;
+    use crate::{Btb, BtbConfig};
+    use btb_trace::BranchKind;
+
+    fn drive<P: ReplacementPolicy>(policy: P, stream: &[u64]) -> u64 {
+        let mut btb = Btb::new(BtbConfig::new(4, 4), policy);
+        for &pc in stream {
+            btb.access_taken(pc * 4, 0x1, BranchKind::UncondDirect, u64::MAX);
+        }
+        btb.stats().hits
+    }
+
+    #[test]
+    fn scan_resistance_beats_lru() {
+        // A recurring working set of 3 plus a one-shot scan. LRU lets the
+        // scan evict the working set; SRRIP keeps the re-referenced entries.
+        let mut stream = Vec::new();
+        let mut scan_pc = 100u64;
+        for _ in 0..50 {
+            stream.extend_from_slice(&[1, 2, 3, 1, 2, 3]);
+            for _ in 0..4 {
+                stream.push(scan_pc);
+                scan_pc += 1;
+            }
+        }
+        let srrip = drive(Srrip::new(), &stream);
+        let lru = drive(Lru::new(), &stream);
+        assert!(
+            srrip > lru,
+            "SRRIP ({srrip} hits) should beat LRU ({lru} hits) on a scan-polluted stream"
+        );
+    }
+
+    #[test]
+    fn hit_resets_rrpv() {
+        let mut btb = Btb::new(BtbConfig::new(4, 4), Srrip::new());
+        btb.access_taken(0, 0x1, BranchKind::UncondDirect, u64::MAX);
+        assert_eq!(btb.policy().rrpv(0, 0), RRPV_LONG);
+        btb.access_taken(0, 0x1, BranchKind::UncondDirect, u64::MAX);
+        assert_eq!(btb.policy().rrpv(0, 0), 0);
+    }
+
+    #[test]
+    fn victim_is_distant_entry() {
+        let mut p = Srrip::new();
+        p.reset(&BtbConfig::new(4, 4).geometry());
+        let dummy = BtbEntry { pc: 0, target: 0, kind: BranchKind::CondDirect, hint: 0 };
+        let resident = vec![dummy; 4];
+        // Fill all, hit way 2, then the first victim must not be way 2.
+        for way in 0..4 {
+            p.on_fill(0, way, &AccessContext::default());
+        }
+        p.on_hit(0, 2, &AccessContext::default());
+        match p.choose_victim(0, &resident, &AccessContext::default()) {
+            Victim::Evict(w) => assert_ne!(w, 2),
+            Victim::Bypass => panic!("srrip never bypasses"),
+        }
+    }
+}

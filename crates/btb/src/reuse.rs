@@ -1,0 +1,198 @@
+//! Per-set reuse-distance analysis: transient vs. holistic variance.
+//!
+//! The paper (§2.3) defines, for BTB entry `X`, the *reuse distance* as the
+//! number of unique BTB entries accessed between two consecutive accesses to
+//! `X` within `X`'s associative set. For branch `a` with reuse-distance
+//! vector `a_i` (i = 2..n):
+//!
+//! * **transient variance** = `1/(n-2) · Σ (a_i − a_{i+1})²` — the jitter a
+//!   policy sees when it only remembers the most recent reuse distance,
+//! * **holistic variance** = `1/(n-1) · Σ (a_i − ā)²` — the spread around
+//!   the whole-execution mean.
+//!
+//! Fig. 5 shows transient variance is more than 2× the holistic variance
+//! for data center applications, which is why transient-only policies
+//! (LRU/SRRIP/GHRP) mispredict evictions. Distances are analyzed on a
+//! `log2(1 + d)` scale so the variances are comparable across applications
+//! with very different footprints (raw distances span four orders of
+//! magnitude); the ≥2× relationship is scale-invariant in practice and the
+//! figure's qualitative claim is what we reproduce.
+
+use std::collections::HashMap;
+
+use btb_trace::Trace;
+
+use crate::Geometry;
+
+/// Reuse-distance vectors per branch, measured within each branch's BTB set.
+#[derive(Clone, Debug, Default)]
+pub struct ReuseAnalysis {
+    /// Per-branch reuse-distance samples (log2-scaled), keyed by PC.
+    pub distances: HashMap<u64, Vec<f64>>,
+}
+
+/// Result of aggregating per-branch variances (paper Fig. 5's two bars).
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct VarianceSummary {
+    /// Mean transient variance across branches with ≥ 3 samples.
+    pub transient: f64,
+    /// Mean holistic variance across branches with ≥ 2 samples.
+    pub holistic: f64,
+    /// Number of branches contributing to the averages.
+    pub branches: usize,
+}
+
+impl ReuseAnalysis {
+    /// Measures reuse distances of every taken branch in `trace` within the
+    /// sets of `geometry`.
+    ///
+    /// Uses a per-set move-to-front list: the reuse distance of an access is
+    /// the number of unique PCs accessed in the same set since the previous
+    /// access to this PC.
+    pub fn measure(trace: &Trace, geometry: &Geometry) -> Self {
+        let mut mtf: Vec<Vec<u64>> = vec![Vec::new(); geometry.sets()];
+        let mut distances: HashMap<u64, Vec<f64>> = HashMap::new();
+        for r in trace.taken() {
+            let set = geometry.set_of(r.pc);
+            let list = &mut mtf[set];
+            match list.iter().position(|&pc| pc == r.pc) {
+                Some(pos) => {
+                    // `pos` unique PCs were touched since the last access.
+                    distances.entry(r.pc).or_default().push((1.0 + pos as f64).log2());
+                    list.remove(pos);
+                    list.insert(0, r.pc);
+                }
+                None => {
+                    list.insert(0, r.pc);
+                }
+            }
+        }
+        Self { distances }
+    }
+
+    /// Aggregates transient and holistic variance across branches, per the
+    /// paper's definitions.
+    pub fn variance_summary(&self) -> VarianceSummary {
+        let mut transient_sum = 0.0;
+        let mut transient_n = 0usize;
+        let mut holistic_sum = 0.0;
+        let mut holistic_n = 0usize;
+        for samples in self.distances.values() {
+            if let Some(v) = transient_variance(samples) {
+                transient_sum += v;
+                transient_n += 1;
+            }
+            if let Some(v) = holistic_variance(samples) {
+                holistic_sum += v;
+                holistic_n += 1;
+            }
+        }
+        VarianceSummary {
+            transient: if transient_n == 0 { 0.0 } else { transient_sum / transient_n as f64 },
+            holistic: if holistic_n == 0 { 0.0 } else { holistic_sum / holistic_n as f64 },
+            branches: holistic_n,
+        }
+    }
+
+    /// Per-branch mean (holistic) reuse distance, log2-scaled. Used for the
+    /// temperature-correlation study (paper Fig. 8).
+    pub fn mean_distance(&self, pc: u64) -> Option<f64> {
+        let samples = self.distances.get(&pc)?;
+        if samples.is_empty() {
+            None
+        } else {
+            Some(samples.iter().sum::<f64>() / samples.len() as f64)
+        }
+    }
+}
+
+/// Transient variance of one branch's reuse-distance vector:
+/// mean squared successive difference. `None` with fewer than 3 samples.
+pub fn transient_variance(samples: &[f64]) -> Option<f64> {
+    if samples.len() < 3 {
+        return None;
+    }
+    let n = samples.len();
+    let sum: f64 = samples.windows(2).map(|w| (w[0] - w[1]).powi(2)).sum();
+    Some(sum / (n - 1) as f64)
+}
+
+/// Holistic variance of one branch's reuse-distance vector: variance around
+/// the whole-execution mean. `None` with fewer than 2 samples.
+pub fn holistic_variance(samples: &[f64]) -> Option<f64> {
+    if samples.len() < 2 {
+        return None;
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    Some(samples.iter().map(|&s| (s - mean).powi(2)).sum::<f64>() / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BtbConfig;
+    use btb_trace::{BranchKind, BranchRecord};
+
+    fn trace_of(pcs: &[u64]) -> Trace {
+        let mut t = Trace::new("reuse");
+        for &pc in pcs {
+            t.push(BranchRecord::taken(pc, 0x1, BranchKind::UncondDirect, 0));
+        }
+        t
+    }
+
+    #[test]
+    fn distance_counts_unique_intervening_pcs() {
+        // Single set: a b c b a -> a's distance: 2 unique (b, c); b's: 1 (c).
+        let g = BtbConfig::new(4, 4).geometry();
+        let t = trace_of(&[10, 20, 30, 20, 10]);
+        let a = ReuseAnalysis::measure(&t, &g);
+        assert_eq!(a.distances[&10], vec![(1.0f64 + 2.0).log2()]);
+        assert_eq!(a.distances[&20], vec![(1.0f64 + 1.0).log2()]);
+        assert!(!a.distances.contains_key(&30), "single access yields no distance");
+    }
+
+    #[test]
+    fn distances_are_confined_to_sets() {
+        // 2 sets: even instruction indices -> set 0, odd -> set 1. Set-1
+        // accesses must not count toward set-0 branches' distances.
+        let g = BtbConfig::new(4, 2).geometry();
+        let t = trace_of(&[8, 4, 12, 20, 8]);
+        let a = ReuseAnalysis::measure(&t, &g);
+        assert_eq!(a.distances[&8], vec![0.0], "no set-0 pc intervened: distance 0");
+    }
+
+    #[test]
+    fn steady_distance_has_zero_transient_variance() {
+        let samples = vec![3.0, 3.0, 3.0, 3.0];
+        assert_eq!(transient_variance(&samples), Some(0.0));
+        assert_eq!(holistic_variance(&samples), Some(0.0));
+    }
+
+    #[test]
+    fn alternating_distances_transient_exceeds_holistic() {
+        // Alternating 0, 4, 0, 4...: successive differences are all 4 =>
+        // transient = 16·(n-2)/(n-1) ≈ 16; holistic variance = 4.
+        let samples: Vec<f64> = (0..20).map(|i| if i % 2 == 0 { 0.0 } else { 4.0 }).collect();
+        let t = transient_variance(&samples).unwrap();
+        let h = holistic_variance(&samples).unwrap();
+        assert!(t > 2.0 * h, "transient {t} should exceed 2x holistic {h}");
+    }
+
+    #[test]
+    fn short_vectors_yield_none() {
+        assert_eq!(transient_variance(&[1.0, 2.0]), None);
+        assert_eq!(holistic_variance(&[1.0]), None);
+    }
+
+    #[test]
+    fn summary_averages_across_branches() {
+        let mut a = ReuseAnalysis::default();
+        a.distances.insert(1, vec![2.0, 2.0, 2.0]);
+        a.distances.insert(2, vec![0.0, 4.0, 0.0, 4.0]);
+        let s = a.variance_summary();
+        assert_eq!(s.branches, 2);
+        assert!(s.transient > s.holistic);
+    }
+}

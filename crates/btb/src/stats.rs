@@ -1,0 +1,86 @@
+//! BTB access statistics.
+
+/// Counters accumulated by a [`crate::Btb`] across its lifetime.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BtbStats {
+    /// Demand accesses (dynamically taken branches looked up).
+    pub accesses: u64,
+    /// Demand hits.
+    pub hits: u64,
+    /// Demand misses (inserted + bypassed).
+    pub misses: u64,
+    /// Hits whose cached target was stale (indirect branches mostly).
+    pub target_mismatches: u64,
+    /// Misses that filled a free way.
+    pub fills: u64,
+    /// Misses that evicted a resident entry.
+    pub evictions: u64,
+    /// Misses the policy declined to insert.
+    pub bypasses: u64,
+    /// Entries installed by a BTB prefetcher.
+    pub prefetch_fills: u64,
+    /// Prefetch fills that evicted a resident entry.
+    pub prefetch_evictions: u64,
+}
+
+impl BtbStats {
+    /// Demand hit rate in `[0, 1]`; 0 when there were no accesses.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Demand miss rate in `[0, 1]`.
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Misses per kilo-instruction given the trace's instruction count.
+    pub fn mpki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.misses as f64 * 1000.0 / instructions as f64
+        }
+    }
+
+    /// Fraction of misses that were bypassed (paper Fig. 9 reports this per
+    /// temperature class under OPT).
+    pub fn bypass_ratio(&self) -> f64 {
+        if self.misses == 0 {
+            0.0
+        } else {
+            self.bypasses as f64 / self.misses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero_denominators() {
+        let s = BtbStats::default();
+        assert_eq!(s.hit_rate(), 0.0);
+        assert_eq!(s.miss_rate(), 0.0);
+        assert_eq!(s.mpki(0), 0.0);
+        assert_eq!(s.bypass_ratio(), 0.0);
+    }
+
+    #[test]
+    fn rates_compute() {
+        let s = BtbStats { accesses: 10, hits: 7, misses: 3, bypasses: 1, ..Default::default() };
+        assert!((s.hit_rate() - 0.7).abs() < 1e-12);
+        assert!((s.miss_rate() - 0.3).abs() < 1e-12);
+        assert!((s.mpki(1000) - 3.0).abs() < 1e-12);
+        assert!((s.bypass_ratio() - 1.0 / 3.0).abs() < 1e-12);
+    }
+}

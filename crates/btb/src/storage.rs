@@ -1,0 +1,120 @@
+//! BTB storage accounting.
+//!
+//! The paper's iso-storage argument (§3.3–§3.4, Fig. 11) rests on bit-level
+//! arithmetic: a 75 KB, 8192-entry BTB stores ~75-bit entries; adding a
+//! 2-bit Thermometer hint per entry costs 2 KB (2.67%), or equivalently
+//! 213 entries at constant storage (`7979 × (75+2) ≈ 8192 × 75`). This
+//! module makes that accounting explicit and testable, including the entry
+//! layouts that related BTB-compression work (partial tags, target deltas)
+//! trades against.
+
+/// Bit-level layout of one BTB entry.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct EntryLayout {
+    /// Tag bits stored per entry.
+    pub tag_bits: u32,
+    /// Target bits (full or delta-compressed).
+    pub target_bits: u32,
+    /// Branch-kind/metadata bits.
+    pub kind_bits: u32,
+    /// Replacement-policy metadata bits (LRU stamp, RRPV, ...).
+    pub replacement_bits: u32,
+    /// Thermometer temperature hint bits.
+    pub hint_bits: u32,
+}
+
+impl EntryLayout {
+    /// A layout matching the paper's 75 KB / 8192-entry baseline
+    /// (≈75 bits per entry), without hints.
+    pub fn paper_baseline() -> Self {
+        Self { tag_bits: 16, target_bits: 46, kind_bits: 3, replacement_bits: 10, hint_bits: 0 }
+    }
+
+    /// The same layout carrying a `bits`-bit Thermometer hint.
+    pub fn with_hint_bits(self, bits: u32) -> Self {
+        Self { hint_bits: bits, ..self }
+    }
+
+    /// Total bits per entry.
+    pub fn bits(&self) -> u32 {
+        self.tag_bits + self.target_bits + self.kind_bits + self.replacement_bits + self.hint_bits
+    }
+}
+
+/// Total storage of `entries` entries under `layout`, in bits.
+pub fn total_bits(layout: EntryLayout, entries: usize) -> usize {
+    layout.bits() as usize * entries
+}
+
+/// Total storage in kilobytes (1024 bytes).
+pub fn total_kib(layout: EntryLayout, entries: usize) -> f64 {
+    total_bits(layout, entries) as f64 / 8.0 / 1024.0
+}
+
+/// How many entries of `candidate` layout fit in the storage of `entries`
+/// entries of `baseline` layout — the paper's iso-storage trade
+/// (§4.2: 8192 baseline entries → 7979 hinted entries).
+pub fn iso_storage_entries(baseline: EntryLayout, candidate: EntryLayout, entries: usize) -> usize {
+    total_bits(baseline, entries) / candidate.bits() as usize
+}
+
+/// Relative storage overhead of adding `hint_bits` to `layout`, in percent
+/// (the paper's 2.67% for 2 bits on a 75-bit entry).
+pub fn hint_overhead_percent(layout: EntryLayout, hint_bits: u32) -> f64 {
+    f64::from(hint_bits) / f64::from(layout.bits()) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_baseline_is_75kb() {
+        let layout = EntryLayout::paper_baseline();
+        assert_eq!(layout.bits(), 75);
+        let kib = total_kib(layout, 8192);
+        assert!((kib - 75.0).abs() < 0.01, "baseline is {kib} KiB");
+    }
+
+    #[test]
+    fn two_bit_hint_costs_the_papers_overhead() {
+        let layout = EntryLayout::paper_baseline();
+        let pct = hint_overhead_percent(layout, 2);
+        assert!((pct - 2.67).abs() < 0.01, "overhead {pct}%");
+        // 2 bits x 8192 entries = 2 KiB extra, §3.4's number.
+        let extra = total_kib(layout.with_hint_bits(2), 8192) - total_kib(layout, 8192);
+        assert!((extra - 2.0).abs() < 0.01, "extra {extra} KiB");
+    }
+
+    #[test]
+    fn iso_storage_reproduces_7979() {
+        let baseline = EntryLayout::paper_baseline();
+        let hinted = baseline.with_hint_bits(2);
+        let entries = iso_storage_entries(baseline, hinted, 8192);
+        // 8192 * 75 / 77 = 7979.2 -> 7979 entries.
+        assert_eq!(entries, 7979);
+        assert_eq!(crate::BtbConfig::iso_storage_7979().entries(), entries);
+    }
+
+    #[test]
+    fn wider_hints_trade_more_entries() {
+        let baseline = EntryLayout::paper_baseline();
+        let mut prev = 8192;
+        for bits in 1..=4 {
+            let entries = iso_storage_entries(baseline, baseline.with_hint_bits(bits), 8192);
+            assert!(entries < prev, "{bits}-bit hints must cost entries");
+            prev = entries;
+        }
+    }
+
+    #[test]
+    fn delta_compressed_targets_buy_capacity() {
+        // A BTB-X-style layout with 24-bit target deltas instead of full
+        // 46-bit targets: substantially more entries at equal storage
+        // (the orthogonal compression direction of the paper's §5).
+        let baseline = EntryLayout::paper_baseline();
+        let compressed = EntryLayout { target_bits: 24, ..baseline };
+        let entries = iso_storage_entries(baseline, compressed, 8192);
+        assert!(entries > 11_000, "compressed layout fits {entries}");
+    }
+}

@@ -1,0 +1,204 @@
+//! Characterization analyses behind the paper's Figs. 6–9.
+//!
+//! * [`heat_curve`] — the hit-to-taken distribution over unique branches,
+//!   sorted hottest-first (Fig. 6).
+//! * [`dynamic_cdf`] — the cumulative share of dynamic BTB accesses covered
+//!   by the hottest branches (Fig. 7: hot branches ≈ 90% of accesses).
+//! * [`bypass_by_temperature`] — OPT's bypass ratio per category (Fig. 9:
+//!   cold branches are mostly not even inserted).
+//! * [`correlations`] — |Pearson| correlation of branch type, target
+//!   distance, direction bias and holistic reuse distance against
+//!   temperature (Fig. 8: only reuse distance correlates, which is why the
+//!   temperature cannot be predicted without simulating OPT).
+
+use btb_model::reuse::ReuseAnalysis;
+use btb_model::Geometry;
+use btb_trace::{stats::pearson, Trace, TraceStats};
+
+use crate::profile::OptProfile;
+use crate::temperature::TemperatureConfig;
+
+/// A point on the Fig. 6 curve.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct HeatPoint {
+    /// Fraction of unique taken branches at or left of this point, `(0,1]`.
+    pub branch_fraction: f64,
+    /// The branch's hit-to-taken ratio.
+    pub hit_to_taken: f64,
+}
+
+/// Hit-to-taken of every branch, hottest first (Fig. 6).
+pub fn heat_curve(profile: &OptProfile) -> Vec<HeatPoint> {
+    let sorted = profile.sorted_by_heat();
+    let n = sorted.len().max(1) as f64;
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, (_, c))| HeatPoint { branch_fraction: (i + 1) as f64 / n, hit_to_taken: c.hit_to_taken() })
+        .collect()
+}
+
+/// Cumulative dynamic-access share, hottest branches first (Fig. 7).
+pub fn dynamic_cdf(profile: &OptProfile) -> Vec<HeatPoint> {
+    let sorted = profile.sorted_by_heat();
+    let total: u64 = sorted.iter().map(|(_, c)| c.taken).sum();
+    let n = sorted.len().max(1) as f64;
+    let mut cumulative = 0u64;
+    sorted
+        .iter()
+        .enumerate()
+        .map(|(i, (_, c))| {
+            cumulative += c.taken;
+            HeatPoint {
+                branch_fraction: (i + 1) as f64 / n,
+                hit_to_taken: if total == 0 { 0.0 } else { cumulative as f64 / total as f64 },
+            }
+        })
+        .collect()
+}
+
+/// Mean bypass ratio per temperature category (index = category,
+/// `0 = coldest`), over branches that missed at least once (Fig. 9).
+pub fn bypass_by_temperature(profile: &OptProfile, config: &TemperatureConfig) -> Vec<f64> {
+    let mut sums = vec![0.0; config.categories()];
+    let mut counts = vec![0usize; config.categories()];
+    for c in profile.branches.values() {
+        if c.inserts + c.bypasses == 0 {
+            continue;
+        }
+        let cat = usize::from(config.category(c.hit_to_taken()));
+        sums[cat] += c.bypass_ratio();
+        counts[cat] += 1;
+    }
+    sums.iter()
+        .zip(&counts)
+        .map(|(&s, &n)| if n == 0 { 0.0 } else { s / n as f64 })
+        .collect()
+}
+
+/// |Pearson| correlations of branch properties against temperature (Fig. 8).
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct Correlations {
+    /// Branch type (conditional vs. not) vs. temperature.
+    pub kind_vs_temperature: f64,
+    /// Mean |target − pc| vs. temperature.
+    pub distance_vs_temperature: f64,
+    /// Direction bias vs. temperature.
+    pub bias_vs_temperature: f64,
+    /// Holistic (mean) reuse distance vs. temperature.
+    pub reuse_vs_temperature: f64,
+}
+
+/// Computes Fig. 8's four correlations for one application trace.
+pub fn correlations(trace: &Trace, profile: &OptProfile, geometry: &Geometry) -> Correlations {
+    let stats = TraceStats::collect(trace);
+    let reuse = ReuseAnalysis::measure(trace, geometry);
+
+    let mut temp = Vec::new();
+    let mut kind = Vec::new();
+    let mut distance = Vec::new();
+    let mut bias = Vec::new();
+    let mut temp_for_reuse = Vec::new();
+    let mut reuse_dist = Vec::new();
+
+    for (&pc, counters) in &profile.branches {
+        let Some(summary) = stats.branches.get(&pc) else { continue };
+        let t = counters.hit_to_taken();
+        temp.push(t);
+        kind.push(if summary.kind.is_conditional() { 1.0 } else { 0.0 });
+        // log-compress distances: they span many orders of magnitude.
+        distance.push((1.0 + summary.mean_target_distance()).ln());
+        bias.push(summary.bias());
+        if let Some(d) = reuse.mean_distance(pc) {
+            temp_for_reuse.push(t);
+            reuse_dist.push(d);
+        }
+    }
+
+    Correlations {
+        kind_vs_temperature: pearson(&kind, &temp).abs(),
+        distance_vs_temperature: pearson(&distance, &temp).abs(),
+        bias_vs_temperature: pearson(&bias, &temp).abs(),
+        reuse_vs_temperature: pearson(&reuse_dist, &temp_for_reuse).abs(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btb_model::BtbConfig;
+    use btb_trace::{BranchKind, BranchRecord};
+
+    fn hot_cold_trace() -> Trace {
+        let mut t = Trace::new("hc");
+        for i in 0..400u64 {
+            t.push(BranchRecord::taken(8, 0x100, BranchKind::UncondDirect, 0));
+            t.push(BranchRecord::taken(16, 0x100, BranchKind::UncondDirect, 0));
+            t.push(BranchRecord::taken(24 + i * 8, 0x100, BranchKind::UncondDirect, 0));
+        }
+        t
+    }
+
+    #[test]
+    fn heat_curve_is_monotone_decreasing() {
+        let p = OptProfile::measure(&hot_cold_trace(), BtbConfig::new(4, 4));
+        let curve = heat_curve(&p);
+        for w in curve.windows(2) {
+            assert!(w[0].hit_to_taken >= w[1].hit_to_taken);
+        }
+        assert!((curve.last().unwrap().branch_fraction - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hot_branches_dominate_dynamic_accesses() {
+        let p = OptProfile::measure(&hot_cold_trace(), BtbConfig::new(4, 4));
+        let cdf = dynamic_cdf(&p);
+        // The two hot branches are <1% of unique but ~2/3 of accesses.
+        let early = cdf.iter().find(|pt| pt.branch_fraction >= 0.01).unwrap();
+        assert!(early.hit_to_taken > 0.6, "early cumulative share {}", early.hit_to_taken);
+        assert!((cdf.last().unwrap().hit_to_taken - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cold_branches_bypass_more() {
+        let p = OptProfile::measure(&hot_cold_trace(), BtbConfig::new(4, 4));
+        let by_temp = bypass_by_temperature(&p, &TemperatureConfig::paper_default());
+        assert_eq!(by_temp.len(), 3);
+        assert!(
+            by_temp[0] > by_temp[2],
+            "cold bypass {} should exceed hot bypass {}",
+            by_temp[0],
+            by_temp[2]
+        );
+    }
+
+    /// Branches with distinct reuse periods: hot tight loops, warm medium
+    /// period, plus a cold one-shot stream — a temperature/reuse spread.
+    fn spread_trace() -> Trace {
+        let mut t = Trace::new("spread");
+        for i in 0..3000u64 {
+            t.push(BranchRecord::taken(8 + (i % 3) * 8, 0x100, BranchKind::UncondDirect, 0));
+            if i % 4 == 0 {
+                t.push(BranchRecord::taken(64 + (i / 4 % 10) * 8, 0x100, BranchKind::UncondDirect, 0));
+            }
+            if i % 2 == 0 {
+                t.push(BranchRecord::taken(1024 + i * 8, 0x100, BranchKind::UncondDirect, 0));
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn reuse_distance_correlates_most() {
+        let trace = spread_trace();
+        let p = OptProfile::measure(&trace, BtbConfig::new(8, 8));
+        let c = correlations(&trace, &p, &BtbConfig::new(8, 8).geometry());
+        assert!(
+            c.reuse_vs_temperature > c.kind_vs_temperature,
+            "reuse {} vs kind {}",
+            c.reuse_vs_temperature,
+            c.kind_vs_temperature
+        );
+        assert!(c.reuse_vs_temperature > 0.3, "reuse correlation {}", c.reuse_vs_temperature);
+    }
+}

@@ -1,0 +1,168 @@
+//! Hint injection: PC → k-bit temperature hints.
+//!
+//! §3.3 of the paper: Thermometer encodes the temperature category into the
+//! 2 (configurable 1–4) spare bits of each branch instruction. We model the
+//! rewritten binary as a table from branch PC to hint value; storage
+//! accounting ([`HintTable::btb_overhead_bits`]) backs the paper's
+//! iso-storage experiment (7979-entry BTB, §4.2).
+
+use std::collections::HashMap;
+
+use crate::profile::OptProfile;
+use crate::temperature::TemperatureConfig;
+
+/// A hint table: the software side of the hardware/software contract.
+///
+/// Branches absent from the table (never seen during profiling) default to
+/// the coldest category, exactly like a binary whose spare bits are zero.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HintTable {
+    hints: HashMap<u64, u8>,
+    bits: u32,
+    categories: usize,
+}
+
+impl HintTable {
+    /// Builds the table by classifying every profiled branch.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use btb_model::BtbConfig;
+    /// use btb_trace::{BranchKind, BranchRecord, Trace};
+    /// use thermometer::{HintTable, OptProfile, TemperatureConfig};
+    ///
+    /// let mut t = Trace::new("h");
+    /// for _ in 0..10 {
+    ///     t.push(BranchRecord::taken(0x40, 0x80, BranchKind::UncondDirect, 0));
+    /// }
+    /// let profile = OptProfile::measure(&t, BtbConfig::new(16, 4));
+    /// let hints = HintTable::from_profile(&profile, &TemperatureConfig::paper_default());
+    /// assert_eq!(hints.hint(0x40), 2, "a 90% hit-to-taken branch is hot");
+    /// assert_eq!(hints.hint(0x999), 0, "unknown branches default to coldest");
+    /// ```
+    pub fn from_profile(profile: &OptProfile, config: &TemperatureConfig) -> Self {
+        let hints = profile
+            .branches
+            .iter()
+            .map(|(&pc, counters)| (pc, config.category(counters.hit_to_taken())))
+            .collect();
+        Self { hints, bits: config.hint_bits(), categories: config.categories() }
+    }
+
+    /// The hint for a branch (0 = coldest; 0 for unprofiled branches).
+    pub fn hint(&self, pc: u64) -> u8 {
+        self.hints.get(&pc).copied().unwrap_or(0)
+    }
+
+    /// Number of branches with explicit hints.
+    pub fn len(&self) -> usize {
+        self.hints.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.hints.is_empty()
+    }
+
+    /// Hint width in bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Number of temperature categories (the hottest category is
+    /// `categories - 1`).
+    pub fn categories(&self) -> usize {
+        self.categories
+    }
+
+    /// Extra BTB storage implied by carrying the hint in every entry
+    /// (`bits × entries`), the quantity traded against capacity in the
+    /// paper's 7979-entry iso-storage configuration.
+    pub fn btb_overhead_bits(&self, btb_entries: usize) -> usize {
+        self.bits as usize * btb_entries
+    }
+
+    /// Distribution of branches per category (index = category).
+    pub fn category_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.categories.max(2)];
+        for &h in self.hints.values() {
+            hist[usize::from(h)] += 1;
+        }
+        hist
+    }
+
+    /// Exposes the table as the `HashMap` the frontend consumes.
+    pub fn to_map(&self) -> HashMap<u64, u8> {
+        self.hints.clone()
+    }
+
+    /// Fraction of branches whose category matches in `other` — the
+    /// cross-input stability metric (the paper reports 81% of branches keep
+    /// their category across inputs, §4.2). Compared over the union of both
+    /// tables' branches (absent = coldest).
+    pub fn agreement_with(&self, other: &HintTable) -> f64 {
+        let keys: std::collections::HashSet<u64> =
+            self.hints.keys().chain(other.hints.keys()).copied().collect();
+        if keys.is_empty() {
+            return 1.0;
+        }
+        let same = keys.iter().filter(|&&pc| self.hint(pc) == other.hint(pc)).count();
+        same as f64 / keys.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::BranchCounters;
+
+    fn profile(entries: &[(u64, u64, u64)]) -> OptProfile {
+        // (pc, taken, hits)
+        let mut p = OptProfile::default();
+        for &(pc, taken, hits) in entries {
+            p.branches.insert(
+                pc,
+                BranchCounters { taken, opt_hits: hits, inserts: taken - hits, bypasses: 0 },
+            );
+        }
+        p
+    }
+
+    #[test]
+    fn categories_follow_thresholds() {
+        let p = profile(&[(1, 100, 95), (2, 100, 60), (3, 100, 10)]);
+        let h = HintTable::from_profile(&p, &TemperatureConfig::paper_default());
+        assert_eq!(h.hint(1), 2);
+        assert_eq!(h.hint(2), 1);
+        assert_eq!(h.hint(3), 0);
+        assert_eq!(h.category_histogram(), vec![1, 1, 1]);
+        assert_eq!(h.categories(), 3);
+    }
+
+    #[test]
+    fn overhead_matches_paper_arithmetic() {
+        let p = profile(&[(1, 10, 9)]);
+        let h = HintTable::from_profile(&p, &TemperatureConfig::paper_default());
+        // 2 bits x 8192 entries = 2 KB, the paper's §3.4 figure.
+        assert_eq!(h.btb_overhead_bits(8192), 16384);
+    }
+
+    #[test]
+    fn agreement_counts_union() {
+        let a = HintTable::from_profile(&profile(&[(1, 10, 9), (2, 10, 1)]), &TemperatureConfig::paper_default());
+        let b = HintTable::from_profile(&profile(&[(1, 10, 9), (3, 10, 1)]), &TemperatureConfig::paper_default());
+        // Union {1,2,3}: 1 agrees (hot/hot); 2 is cold in a, absent->cold
+        // in b (agrees); 3 absent->cold in a, cold in b (agrees).
+        assert!((a.agreement_with(&b) - 1.0).abs() < 1e-12);
+        let c = HintTable::from_profile(&profile(&[(1, 10, 0)]), &TemperatureConfig::paper_default());
+        assert!(a.agreement_with(&c) < 1.0);
+    }
+
+    #[test]
+    fn empty_tables_fully_agree() {
+        let e = HintTable::default();
+        assert_eq!(e.agreement_with(&e), 1.0);
+        assert!(e.is_empty());
+    }
+}

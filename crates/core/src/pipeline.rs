@@ -1,0 +1,249 @@
+//! End-to-end pipeline: profile → hints → simulate, plus baseline runners.
+//!
+//! This is the library's high-level entry point and the engine behind the
+//! figure harness: one [`Pipeline`] holds a frontend configuration and a
+//! temperature configuration and can run any of the paper's policies over
+//! any trace with consistent settings.
+
+use btb_model::policies::{BeladyOpt, Ghrp, GhrpConfig, Hawkeye, HawkeyeConfig, Lru, Srrip};
+use btb_model::{BtbConfig, ReplacementPolicy};
+use btb_trace::{NextUseOracle, Trace};
+use uarch_sim::{Frontend, FrontendConfig, PerfectOptions, SimReport};
+
+use crate::hints::HintTable;
+use crate::policy::ThermometerPolicy;
+use crate::profile::OptProfile;
+use crate::temperature::TemperatureConfig;
+
+/// Pipeline settings.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PipelineConfig {
+    /// Frontend/BTB/timing configuration (Table 1 by default).
+    pub frontend: FrontendConfig,
+    /// Temperature categories and thresholds (50%/80%, 3 categories, by
+    /// default).
+    pub temperature: TemperatureConfig,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self { frontend: FrontendConfig::table1(), temperature: TemperatureConfig::paper_default() }
+    }
+}
+
+/// The profile-guided workflow plus baseline runners.
+#[derive(Clone, Debug, Default)]
+pub struct Pipeline {
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Creates a pipeline with the given settings.
+    pub fn new(config: PipelineConfig) -> Self {
+        Self { config }
+    }
+
+    /// The settings in use.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Step 1–2: replay OPT over the profile trace.
+    pub fn profile(&self, trace: &Trace) -> OptProfile {
+        OptProfile::measure(trace, self.config.frontend.btb)
+    }
+
+    /// Steps 1–3: profile and classify into a hint table.
+    pub fn profile_to_hints(&self, trace: &Trace) -> HintTable {
+        HintTable::from_profile(&self.profile(trace), &self.config.temperature)
+    }
+
+    /// Step 4: simulate the test trace under Thermometer with `hints`.
+    pub fn run_thermometer(&self, trace: &Trace, hints: &HintTable) -> SimReport {
+        self.run_thermometer_detailed(trace, hints).0
+    }
+
+    /// Like [`Pipeline::run_thermometer`], also returning the replacement
+    /// coverage counters (paper Fig. 15).
+    pub fn run_thermometer_detailed(
+        &self,
+        trace: &Trace,
+        hints: &HintTable,
+    ) -> (SimReport, crate::policy::CoverageCounters) {
+        let mut fe = Frontend::new(self.config.frontend, ThermometerPolicy::new());
+        fe.set_hints(hints.to_map());
+        let mut report = fe.run(trace, None);
+        report.label = "Thermometer".into();
+        let coverage = fe.btb().policy().coverage();
+        (report, coverage)
+    }
+
+    /// Runs an arbitrary policy with every optional attachment: Thermometer
+    /// hints, the OPT oracle, and/or a BTB prefetcher. The label is
+    /// `"{policy}+{prefetcher}"` when a prefetcher is attached.
+    pub fn run_custom<P: ReplacementPolicy>(
+        &self,
+        trace: &Trace,
+        policy: P,
+        hints: Option<&HintTable>,
+        with_oracle: bool,
+        prefetcher: Option<Box<dyn uarch_sim::prefetch::Prefetcher>>,
+    ) -> SimReport {
+        let policy_name = policy.name();
+        let mut fe = Frontend::new(self.config.frontend, policy);
+        if let Some(h) = hints {
+            fe.set_hints(h.to_map());
+        }
+        let label = match &prefetcher {
+            Some(p) => format!("{policy_name}+{}", p.name()),
+            None => policy_name.to_owned(),
+        };
+        if let Some(p) = prefetcher {
+            fe.set_prefetcher(p);
+        }
+        let oracle = with_oracle.then(|| NextUseOracle::build(trace));
+        let mut report = fe.run(trace, oracle.as_ref());
+        report.label = label;
+        report
+    }
+
+    /// Runs an arbitrary policy (no hints, no oracle).
+    pub fn run_policy<P: ReplacementPolicy>(&self, trace: &Trace, policy: P) -> SimReport {
+        let label = policy.name();
+        let mut fe = Frontend::new(self.config.frontend, policy);
+        let mut report = fe.run(trace, None);
+        report.label = label.into();
+        report
+    }
+
+    /// The LRU baseline every figure normalizes against.
+    pub fn run_lru(&self, trace: &Trace) -> SimReport {
+        self.run_policy(trace, Lru::new())
+    }
+
+    /// SRRIP (best prior work in the paper).
+    pub fn run_srrip(&self, trace: &Trace) -> SimReport {
+        self.run_policy(trace, Srrip::new())
+    }
+
+    /// GHRP (the prior BTB-specific policy).
+    pub fn run_ghrp(&self, trace: &Trace) -> SimReport {
+        self.run_policy(trace, Ghrp::new(GhrpConfig::default()))
+    }
+
+    /// Hawkeye adapted to the BTB.
+    pub fn run_hawkeye(&self, trace: &Trace) -> SimReport {
+        self.run_policy(trace, Hawkeye::new(HawkeyeConfig::default()))
+    }
+
+    /// Belady's OPT (builds the oracle internally).
+    pub fn run_opt(&self, trace: &Trace) -> SimReport {
+        let oracle = NextUseOracle::build(trace);
+        let mut fe = Frontend::new(self.config.frontend, BeladyOpt::new());
+        let mut report = fe.run(trace, Some(&oracle));
+        report.label = "OPT".into();
+        report
+    }
+
+    /// A limit-study run (Fig. 2): LRU replacement with perfect structures.
+    pub fn run_perfect(&self, trace: &Trace, perfect: PerfectOptions) -> SimReport {
+        let mut config = self.config.frontend;
+        config.perfect = perfect;
+        let mut fe = Frontend::new(config, Lru::new());
+        let mut report = fe.run(trace, None);
+        report.label = match (perfect.btb, perfect.branch_predictor, perfect.icache) {
+            (true, false, false) => "Perfect-BTB".into(),
+            (false, true, false) => "Perfect-BP".into(),
+            (false, false, true) => "Perfect-I-Cache".into(),
+            _ => "Perfect".into(),
+        };
+        report
+    }
+
+    /// Convenience: a pipeline identical to this one but with a different
+    /// BTB geometry (for the iso-storage and sensitivity studies).
+    pub fn with_btb(&self, btb: BtbConfig) -> Pipeline {
+        let mut config = self.config.clone();
+        config.frontend.btb = btb;
+        Pipeline::new(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btb_workloads::{AppSpec, InputConfig};
+
+    fn small_trace(input: u32) -> Trace {
+        let spec = AppSpec { functions: 400, handlers: 60, ..AppSpec::by_name("kafka").unwrap() };
+        spec.generate(InputConfig::input(input), 30_000)
+    }
+
+    #[test]
+    fn end_to_end_thermometer_beats_lru_on_same_input() {
+        let trace = small_trace(0);
+        let p = Pipeline::new(PipelineConfig {
+            frontend: FrontendConfig {
+                btb: BtbConfig::new(1024, 4), // small BTB so the footprint thrashes it
+                                              // at the paper's ~4x pressure ratio
+                ..FrontendConfig::table1()
+            },
+            ..PipelineConfig::default()
+        });
+        let hints = p.profile_to_hints(&trace);
+        let lru = p.run_lru(&trace);
+        let therm = p.run_thermometer(&trace, &hints);
+        let opt = p.run_opt(&trace);
+        assert!(
+            therm.btb.misses < lru.btb.misses,
+            "thermometer misses {} vs lru {}",
+            therm.btb.misses,
+            lru.btb.misses
+        );
+        assert!(opt.btb.misses <= therm.btb.misses, "OPT is the floor");
+        assert!(therm.ipc() > lru.ipc());
+    }
+
+    #[test]
+    fn labels_are_set() {
+        let trace = small_trace(0);
+        let p = Pipeline::new(PipelineConfig::default());
+        assert_eq!(p.run_lru(&trace).label, "LRU");
+        assert_eq!(p.run_opt(&trace).label, "OPT");
+        let hints = p.profile_to_hints(&trace);
+        assert_eq!(p.run_thermometer(&trace, &hints).label, "Thermometer");
+        let perfect = p.run_perfect(&trace, uarch_sim::PerfectOptions { btb: true, ..Default::default() });
+        assert_eq!(perfect.label, "Perfect-BTB");
+    }
+
+    #[test]
+    fn cross_input_hints_still_help() {
+        let train = small_trace(0);
+        let test = small_trace(1);
+        let p = Pipeline::new(PipelineConfig {
+            frontend: FrontendConfig { btb: BtbConfig::new(1024, 4), ..FrontendConfig::table1() },
+            ..PipelineConfig::default()
+        });
+        let train_hints = p.profile_to_hints(&train);
+        let same_hints = p.profile_to_hints(&test);
+        // Cross-input agreement should be high (paper: ~81%).
+        let agreement = train_hints.agreement_with(&same_hints);
+        assert!(agreement > 0.5, "agreement {agreement}");
+        let lru = p.run_lru(&test);
+        let cross = p.run_thermometer(&test, &train_hints);
+        assert!(
+            cross.btb.misses <= lru.btb.misses,
+            "cross-input thermometer {} vs lru {}",
+            cross.btb.misses,
+            lru.btb.misses
+        );
+    }
+
+    #[test]
+    fn with_btb_changes_geometry_only() {
+        let p = Pipeline::new(PipelineConfig::default());
+        let q = p.with_btb(BtbConfig::iso_storage_7979());
+        assert_eq!(q.config().frontend.btb.entries(), 7979);
+        assert_eq!(q.config().temperature, p.config().temperature);
+    }
+}

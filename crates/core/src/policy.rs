@@ -1,0 +1,310 @@
+//! The Thermometer replacement policy (paper §3.4, Algorithm 1) and its
+//! single-signal ablations.
+//!
+//! The hardware extension is tiny: every BTB entry carries the k-bit
+//! temperature hint its branch instruction was tagged with. On a
+//! replacement decision the policy:
+//!
+//! 1. gathers the temperatures of the `n` resident entries **and** the
+//!    incoming branch `x0`,
+//! 2. finds the coldest temperature `t` and the candidate set `S` at `t`,
+//! 3. if `S = {x0}`, **bypasses** (the incoming branch is uniquely
+//!    coldest — inserting it can only pollute),
+//! 4. otherwise evicts the **least recently used resident** in `S`,
+//!    blending the holistic signal (temperature) with the transient one
+//!    (recency).
+//!
+//! [`HolisticOnly`] drops step 4's recency (fixed way order) and
+//! "transient only" is literally LRU — the two ablations of Fig. 16.
+
+use btb_model::policies::Lru;
+use btb_model::{AccessContext, BtbEntry, Geometry, ReplacementPolicy, Victim};
+
+/// Counters for the paper's replacement-coverage metric (Fig. 15).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CoverageCounters {
+    /// Replacement decisions taken (set was full).
+    pub decisions: u64,
+    /// Decisions where the temperatures distinguished candidates (i.e. not
+    /// every candidate sat in the same coldest category) — "covered by
+    /// Thermometer"; the rest degrade to pure LRU.
+    pub covered: u64,
+    /// Decisions resolved by bypassing the incoming branch.
+    pub bypasses: u64,
+}
+
+impl CoverageCounters {
+    /// Fraction of decisions covered, in `[0, 1]`.
+    pub fn coverage(&self) -> f64 {
+        if self.decisions == 0 {
+            0.0
+        } else {
+            self.covered as f64 / self.decisions as f64
+        }
+    }
+}
+
+/// Algorithm 1: coldest-first eviction with LRU tie-break and bypass.
+#[derive(Clone, Debug, Default)]
+pub struct ThermometerPolicy {
+    lru: Lru,
+    coverage: CoverageCounters,
+}
+
+impl ThermometerPolicy {
+    /// Creates the policy. Hints flow in through
+    /// [`AccessContext::hint`] (installed into BTB entries on fill).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Coverage counters accumulated so far (Fig. 15).
+    pub fn coverage(&self) -> CoverageCounters {
+        self.coverage
+    }
+}
+
+impl ReplacementPolicy for ThermometerPolicy {
+    fn name(&self) -> &'static str {
+        "Thermometer"
+    }
+
+    fn reset(&mut self, geometry: &Geometry) {
+        self.lru.reset(geometry);
+        self.coverage = CoverageCounters::default();
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, ctx: &AccessContext) {
+        self.lru.on_hit(set, way, ctx);
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, ctx: &AccessContext) {
+        self.lru.on_fill(set, way, ctx);
+    }
+
+    fn choose_victim(&mut self, set: usize, resident: &[BtbEntry], ctx: &AccessContext) -> Victim {
+        self.coverage.decisions += 1;
+        // Algorithm 1 line 3: coldest temperature among residents and x0.
+        let coldest = resident.iter().map(|e| e.hint).min().expect("set non-empty").min(ctx.hint);
+        let hottest = resident.iter().map(|e| e.hint).max().expect("set non-empty").max(ctx.hint);
+        if hottest > coldest {
+            self.coverage.covered += 1;
+        }
+
+        // Line 4: S = candidates at the coldest temperature.
+        let resident_coldest: Vec<usize> =
+            (0..resident.len()).filter(|&w| resident[w].hint == coldest).collect();
+
+        // Lines 5-6: bypass when the incoming branch is uniquely coldest.
+        if resident_coldest.is_empty() {
+            self.coverage.bypasses += 1;
+            return Victim::Bypass;
+        }
+
+        // Line 7: LRU among the coldest residents (transient tie-break).
+        Victim::Evict(self.lru.lru_way_among(set, &resident_coldest))
+    }
+
+    fn on_replace(&mut self, set: usize, way: usize, evicted: &BtbEntry, ctx: &AccessContext) {
+        self.lru.on_replace(set, way, evicted, ctx);
+    }
+}
+
+/// Ablation: Algorithm 1 without the bypass rule — when the incoming
+/// branch is uniquely coldest it is inserted anyway (over the LRU resident
+/// of the coldest resident category). Quantifies how much of Thermometer's
+/// benefit comes from §2.5's bypass insight versus eviction ordering.
+#[derive(Clone, Debug, Default)]
+pub struct ThermometerNoBypass {
+    lru: Lru,
+}
+
+impl ThermometerNoBypass {
+    /// Creates the no-bypass ablation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ReplacementPolicy for ThermometerNoBypass {
+    fn name(&self) -> &'static str {
+        "Therm-NoBypass"
+    }
+
+    fn reset(&mut self, geometry: &Geometry) {
+        self.lru.reset(geometry);
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, ctx: &AccessContext) {
+        self.lru.on_hit(set, way, ctx);
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, ctx: &AccessContext) {
+        self.lru.on_fill(set, way, ctx);
+    }
+
+    fn choose_victim(&mut self, set: usize, resident: &[BtbEntry], _ctx: &AccessContext) -> Victim {
+        // Coldest resident category (the incoming branch is always
+        // inserted), LRU tie-break.
+        let coldest = resident.iter().map(|e| e.hint).min().expect("set non-empty");
+        let candidates: Vec<usize> =
+            (0..resident.len()).filter(|&w| resident[w].hint == coldest).collect();
+        Victim::Evict(self.lru.lru_way_among(set, &candidates))
+    }
+
+    fn on_replace(&mut self, set: usize, way: usize, evicted: &BtbEntry, ctx: &AccessContext) {
+        self.lru.on_replace(set, way, evicted, ctx);
+    }
+}
+
+/// Ablation: holistic signal only — coldest-first eviction with a *fixed*
+/// (lowest-way) tie-break instead of LRU (Fig. 16's "Holistic" bar).
+#[derive(Clone, Debug, Default)]
+pub struct HolisticOnly;
+
+impl HolisticOnly {
+    /// Creates the ablation policy.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl ReplacementPolicy for HolisticOnly {
+    fn name(&self) -> &'static str {
+        "Holistic"
+    }
+
+    fn reset(&mut self, _geometry: &Geometry) {}
+
+    fn on_hit(&mut self, _set: usize, _way: usize, _ctx: &AccessContext) {}
+
+    fn on_fill(&mut self, _set: usize, _way: usize, _ctx: &AccessContext) {}
+
+    fn choose_victim(&mut self, _set: usize, resident: &[BtbEntry], ctx: &AccessContext) -> Victim {
+        let coldest = resident.iter().map(|e| e.hint).min().expect("set non-empty").min(ctx.hint);
+        match (0..resident.len()).find(|&w| resident[w].hint == coldest) {
+            Some(way) => Victim::Evict(way),
+            None => Victim::Bypass,
+        }
+    }
+
+    fn on_replace(&mut self, _set: usize, _way: usize, _evicted: &BtbEntry, _ctx: &AccessContext) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btb_model::{AccessOutcome, Btb, BtbConfig};
+    use btb_trace::BranchKind;
+
+    fn ctx(pc: u64, hint: u8) -> AccessContext {
+        AccessContext { pc, target: pc + 0x100, kind: BranchKind::UncondDirect, hint, ..Default::default() }
+    }
+
+    /// One-set BTB helper.
+    fn btb() -> Btb<ThermometerPolicy> {
+        Btb::new(BtbConfig::new(2, 2), ThermometerPolicy::new())
+    }
+
+    #[test]
+    fn evicts_coldest_not_lru() {
+        let mut b = btb();
+        b.access(&ctx(1, 0)); // cold, way 0
+        b.access(&ctx(2, 2)); // hot, way 1
+        b.access(&ctx(1, 0)); // touch cold -> cold is MRU now
+        // Insert warm: LRU would evict the hot 2; Thermometer evicts cold 1.
+        b.access(&ctx(3, 1));
+        assert!(b.probe(1).is_none(), "coldest entry must be the victim");
+        assert!(b.probe(2).is_some());
+        assert!(b.probe(3).is_some());
+    }
+
+    #[test]
+    fn bypasses_uniquely_coldest_incoming() {
+        let mut b = btb();
+        b.access(&ctx(1, 2));
+        b.access(&ctx(2, 1));
+        let outcome = b.access(&ctx(3, 0)); // colder than everything resident
+        assert_eq!(outcome, AccessOutcome::MissBypassed);
+        assert!(b.probe(1).is_some());
+        assert!(b.probe(2).is_some());
+    }
+
+    #[test]
+    fn equal_coldest_ties_break_by_lru() {
+        let mut b = btb();
+        b.access(&ctx(1, 1)); // way 0
+        b.access(&ctx(2, 1)); // way 1
+        b.access(&ctx(1, 1)); // 1 becomes MRU
+        b.access(&ctx(3, 1)); // same category everywhere -> evict LRU = 2
+        assert!(b.probe(2).is_none());
+        assert!(b.probe(1).is_some());
+    }
+
+    #[test]
+    fn incoming_in_coldest_set_with_residents_still_inserts() {
+        // |S| > 1 with x0 in S: Algorithm 1 evicts the LRU resident member.
+        let mut b = btb();
+        b.access(&ctx(1, 0));
+        b.access(&ctx(2, 3));
+        let outcome = b.access(&ctx(3, 0)); // ties resident 1 at coldest
+        assert_eq!(outcome, AccessOutcome::MissInserted);
+        assert!(b.probe(1).is_none(), "resident coldest LRU is evicted");
+        assert!(b.probe(3).is_some());
+    }
+
+    #[test]
+    fn coverage_counts_distinguishing_decisions() {
+        let mut b = btb();
+        b.access(&ctx(1, 1));
+        b.access(&ctx(2, 1));
+        b.access(&ctx(3, 1)); // uncovered: all same category
+        b.access(&ctx(4, 2)); // covered: categories differ
+        let cov = b.policy().coverage();
+        assert_eq!(cov.decisions, 2);
+        assert_eq!(cov.covered, 1);
+        assert!((cov.coverage() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_all_hints_zero_thermometer_degrades_to_lru() {
+        // No hint information: Algorithm 1's S is the whole set, so the
+        // decision is pure LRU (and never a bypass since S contains
+        // residents).
+        let mut therm = Btb::new(BtbConfig::new(4, 4), ThermometerPolicy::new());
+        let mut lru = Btb::new(BtbConfig::new(4, 4), btb_model::policies::Lru::new());
+        let stream: Vec<u64> = (0..500u64).map(|i| (i * 7) % 13).collect();
+        for &pc in &stream {
+            let a = therm.access(&ctx(pc, 0));
+            let b = lru.access(&ctx(pc, 0));
+            assert_eq!(a, b, "diverged at {pc}");
+        }
+        assert_eq!(therm.stats(), lru.stats());
+    }
+
+    #[test]
+    fn no_bypass_always_inserts() {
+        let mut b = Btb::new(BtbConfig::new(2, 2), ThermometerNoBypass::new());
+        b.access(&ctx(1, 2));
+        b.access(&ctx(2, 1));
+        // Incoming uniquely coldest: Algorithm 1 would bypass; the ablation
+        // inserts over the coldest resident (pc 2, hint 1).
+        let outcome = b.access(&ctx(3, 0));
+        assert_eq!(outcome, AccessOutcome::MissInserted);
+        assert!(b.probe(2).is_none());
+        assert!(b.probe(3).is_some());
+        assert_eq!(b.stats().bypasses, 0);
+    }
+
+    #[test]
+    fn holistic_only_uses_fixed_tie_break() {
+        let mut b = Btb::new(BtbConfig::new(2, 2), HolisticOnly::new());
+        b.access(&ctx(1, 1)); // way 0
+        b.access(&ctx(2, 1)); // way 1
+        b.access(&ctx(1, 1)); // a hit, but HolisticOnly tracks no recency
+        b.access(&ctx(3, 1));
+        // Fixed tie-break: way 0 (pc 1) is evicted despite being MRU.
+        assert!(b.probe(1).is_none());
+        assert!(b.probe(2).is_some());
+    }
+}

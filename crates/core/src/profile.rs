@@ -1,0 +1,235 @@
+//! Offline profiling: replaying Belady's OPT to measure hit-to-taken.
+//!
+//! The paper's §3.2: Thermometer simulates the optimal BTB replacement
+//! policy over a profile trace (collected with Intel PT in the paper, with
+//! the generators of `btb-workloads` here) and counts, for every static
+//! branch, (a) the times it was taken and (b) the times the optimal policy
+//! made its lookup hit. It also counts insertions and bypasses, which the
+//! characterization of §2.5 (Fig. 9) uses.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use btb_model::{policies::BeladyOpt, AccessContext, Btb, BtbConfig};
+use btb_trace::{NextUseOracle, Trace};
+
+/// Per-static-branch counters measured under OPT.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct BranchCounters {
+    /// Dynamic taken executions (= BTB accesses).
+    pub taken: u64,
+    /// BTB hits under the optimal replacement policy.
+    pub opt_hits: u64,
+    /// Misses that inserted the branch.
+    pub inserts: u64,
+    /// Misses the optimal policy bypassed.
+    pub bypasses: u64,
+}
+
+impl BranchCounters {
+    /// The branch's hit-to-taken ratio in `[0, 1]` — the paper's
+    /// temperature measurement (expressed as a percentage there).
+    pub fn hit_to_taken(&self) -> f64 {
+        if self.taken == 0 {
+            0.0
+        } else {
+            self.opt_hits as f64 / self.taken as f64
+        }
+    }
+
+    /// Fraction of this branch's misses that were bypassed (Fig. 9).
+    pub fn bypass_ratio(&self) -> f64 {
+        let misses = self.inserts + self.bypasses;
+        if misses == 0 {
+            0.0
+        } else {
+            self.bypasses as f64 / misses as f64
+        }
+    }
+}
+
+/// The result of one profiling run.
+#[derive(Clone, Debug, Default)]
+pub struct OptProfile {
+    /// Counters per branch PC.
+    pub branches: HashMap<u64, BranchCounters>,
+    /// BTB geometry the profile was measured against (temperatures are
+    /// size-specific, §3.4 "BTB size dependency").
+    pub config: Option<BtbConfig>,
+    /// Wall-clock time of the offline OPT simulation (Fig. 14).
+    pub simulation_time: Duration,
+    /// Total taken-branch accesses replayed.
+    pub accesses: u64,
+}
+
+impl OptProfile {
+    /// Replays Belady's OPT over `trace`'s taken-branch stream on a BTB of
+    /// `config` geometry and collects per-branch counters.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use btb_model::BtbConfig;
+    /// use btb_trace::{BranchKind, BranchRecord, Trace};
+    /// use thermometer::OptProfile;
+    ///
+    /// let mut t = Trace::new("p");
+    /// for _ in 0..3 {
+    ///     t.push(BranchRecord::taken(0x10, 0x90, BranchKind::UncondDirect, 0));
+    /// }
+    /// let profile = OptProfile::measure(&t, BtbConfig::new(16, 4));
+    /// let c = &profile.branches[&0x10];
+    /// assert_eq!(c.taken, 3);
+    /// assert_eq!(c.opt_hits, 2); // first access is a compulsory miss
+    /// ```
+    pub fn measure(trace: &Trace, config: BtbConfig) -> Self {
+        let start = Instant::now();
+        let oracle = NextUseOracle::build(trace);
+        let mut btb = Btb::new(config, BeladyOpt::new());
+        let mut branches: HashMap<u64, BranchCounters> = HashMap::new();
+
+        for (i, r) in trace.taken().enumerate() {
+            let ctx = AccessContext {
+                pc: r.pc,
+                target: r.target,
+                kind: r.kind,
+                hint: 0,
+                next_use: oracle.next_use(i),
+                access_index: i as u64,
+            };
+            let outcome = btb.access(&ctx);
+            let c = branches.entry(r.pc).or_default();
+            c.taken += 1;
+            if outcome.is_hit() {
+                c.opt_hits += 1;
+            } else if outcome.is_bypass() {
+                c.bypasses += 1;
+            } else {
+                c.inserts += 1;
+            }
+        }
+
+        Self {
+            branches,
+            config: Some(config),
+            simulation_time: start.elapsed(),
+            accesses: oracle.len() as u64,
+        }
+    }
+
+    /// Hit-to-taken ratio of a branch; `None` when it never appeared.
+    pub fn hit_to_taken(&self, pc: u64) -> Option<f64> {
+        self.branches.get(&pc).map(BranchCounters::hit_to_taken)
+    }
+
+    /// Number of profiled static branches.
+    pub fn unique_branches(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// Total OPT hits across all branches.
+    pub fn total_hits(&self) -> u64 {
+        self.branches.values().map(|c| c.opt_hits).sum()
+    }
+
+    /// Branches sorted by descending hit-to-taken (the X-axis ordering of
+    /// Figs. 6–7).
+    pub fn sorted_by_heat(&self) -> Vec<(u64, BranchCounters)> {
+        let mut v: Vec<(u64, BranchCounters)> = self.branches.iter().map(|(&pc, &c)| (pc, c)).collect();
+        v.sort_by(|a, b| {
+            b.1.hit_to_taken()
+                .partial_cmp(&a.1.hit_to_taken())
+                .expect("hit-to-taken is never NaN")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btb_trace::{BranchKind, BranchRecord};
+
+    fn taken(pc: u64) -> BranchRecord {
+        BranchRecord::taken(pc, pc + 0x100, BranchKind::UncondDirect, 1)
+    }
+
+    #[test]
+    fn counters_sum_to_taken() {
+        let mut t = Trace::new("sum");
+        for i in 0..200u64 {
+            t.push(taken(i % 10));
+            t.push(taken(i % 37));
+        }
+        let p = OptProfile::measure(&t, BtbConfig::new(8, 4));
+        for (pc, c) in &p.branches {
+            assert_eq!(c.taken, c.opt_hits + c.inserts + c.bypasses, "pc {pc:#x}: {c:?}");
+        }
+        assert_eq!(p.accesses, 400);
+    }
+
+    #[test]
+    fn hot_loop_is_hotter_than_cold_tail() {
+        // One hot branch revisited constantly vs a stream of one-shot
+        // branches conflicting with it.
+        let mut t = Trace::new("hotcold");
+        for i in 0..500u64 {
+            t.push(taken(4)); // hot, same set as the cold tail (4 sets)
+            t.push(taken(8 + i * 4)); // cold one-shots in set 0
+        }
+        let p = OptProfile::measure(&t, BtbConfig::new(4, 1));
+        let hot = p.hit_to_taken(4).unwrap();
+        assert!(hot > 0.9, "hot branch hit-to-taken {hot}");
+        // The cold tail never hits.
+        assert_eq!(p.hit_to_taken(8 + 4), Some(0.0));
+    }
+
+    #[test]
+    fn never_reused_branches_are_bypassed_under_pressure() {
+        let mut t = Trace::new("bypass");
+        // Fill a 1-set BTB (4 ways) with 4 recurring branches, then stream
+        // one-shots: OPT bypasses all of them.
+        let recurring = [0u64, 1, 2, 3];
+        for round in 0..50u64 {
+            for &pc in &recurring {
+                t.push(taken(pc));
+            }
+            t.push(taken(100 + round));
+        }
+        let p = OptProfile::measure(&t, BtbConfig::new(4, 4));
+        let one_shot = &p.branches[&105];
+        assert_eq!(one_shot.bypasses, 1);
+        assert_eq!(one_shot.bypass_ratio(), 1.0);
+        for &pc in &recurring {
+            assert!(p.hit_to_taken(pc).unwrap() > 0.9);
+        }
+    }
+
+    #[test]
+    fn sorted_by_heat_is_descending() {
+        let mut t = Trace::new("sorted");
+        for i in 0..300u64 {
+            t.push(taken(1));
+            if i % 3 == 0 {
+                t.push(taken(2));
+            }
+            t.push(taken(100 + i));
+        }
+        let p = OptProfile::measure(&t, BtbConfig::new(2, 2));
+        let sorted = p.sorted_by_heat();
+        for w in sorted.windows(2) {
+            assert!(w[0].1.hit_to_taken() >= w[1].1.hit_to_taken());
+        }
+    }
+
+    #[test]
+    fn simulation_time_is_recorded() {
+        let mut t = Trace::new("time");
+        for i in 0..1000u64 {
+            t.push(taken(i % 50));
+        }
+        let p = OptProfile::measure(&t, BtbConfig::new(16, 4));
+        assert!(p.simulation_time > Duration::ZERO);
+    }
+}

@@ -1,0 +1,277 @@
+//! Branch temperature: thresholding hit-to-taken into categories.
+//!
+//! §2.4/§3.3 of the paper: a branch with hit-to-taken above 80% is **hot**,
+//! above 50% **warm**, otherwise **cold**. The category count is
+//! configurable (the paper's sensitivity study sweeps 2–16 categories,
+//! Fig. 20); categories are numbered `0 = coldest` upward, which is
+//! exactly the k-bit hint value the hardware compares (Algorithm 1 finds
+//! the *minimum*).
+//!
+//! The module also implements the threshold search with two-fold
+//! cross-validation used for the CBP-5 study (Fig. 17).
+
+use crate::profile::OptProfile;
+
+/// The paper's three-category classification.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Temperature {
+    /// Hit-to-taken ≤ y1 (50% by default).
+    Cold,
+    /// y1 < hit-to-taken ≤ y2 (80% by default).
+    Warm,
+    /// Hit-to-taken > y2.
+    Hot,
+}
+
+impl Temperature {
+    /// Classifies a hit-to-taken ratio with the paper's default thresholds.
+    pub fn of(hit_to_taken: f64) -> Self {
+        Self::with_thresholds(hit_to_taken, 0.5, 0.8)
+    }
+
+    /// Classifies with explicit thresholds `0 <= y1 <= y2 <= 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thresholds are out of order or out of range.
+    pub fn with_thresholds(hit_to_taken: f64, y1: f64, y2: f64) -> Self {
+        assert!((0.0..=1.0).contains(&y1) && (0.0..=1.0).contains(&y2) && y1 <= y2, "bad thresholds {y1} {y2}");
+        if hit_to_taken > y2 {
+            Temperature::Hot
+        } else if hit_to_taken > y1 {
+            Temperature::Warm
+        } else {
+            Temperature::Cold
+        }
+    }
+}
+
+/// A general k-category temperature classifier.
+///
+/// `thresholds` is an ascending list of k-1 cut points; a ratio lands in
+/// the category equal to the number of cut points strictly below it, so
+/// category 0 is coldest — matching the hardware hint encoding.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TemperatureConfig {
+    thresholds: Vec<f64>,
+}
+
+impl TemperatureConfig {
+    /// Builds a classifier from ascending thresholds in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if thresholds are empty, unsorted, or out of range.
+    pub fn new(thresholds: Vec<f64>) -> Self {
+        assert!(!thresholds.is_empty(), "need at least one threshold");
+        assert!(
+            thresholds.windows(2).all(|w| w[0] <= w[1]),
+            "thresholds must ascend: {thresholds:?}"
+        );
+        assert!(
+            thresholds.iter().all(|t| (0.0..=1.0).contains(t)),
+            "thresholds must be in [0,1]: {thresholds:?}"
+        );
+        Self { thresholds }
+    }
+
+    /// The paper's default: 3 categories at 50% / 80%.
+    pub fn paper_default() -> Self {
+        Self::new(vec![0.5, 0.8])
+    }
+
+    /// `categories` equal-width categories (the "naive approach" of §3.3,
+    /// used as a sensitivity baseline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `categories < 2`.
+    pub fn uniform(categories: usize) -> Self {
+        assert!(categories >= 2, "need at least two categories");
+        Self::new((1..categories).map(|i| i as f64 / categories as f64).collect())
+    }
+
+    /// Number of categories (thresholds + 1).
+    pub fn categories(&self) -> usize {
+        self.thresholds.len() + 1
+    }
+
+    /// Bits needed to encode a category.
+    pub fn hint_bits(&self) -> u32 {
+        usize::BITS - (self.categories() - 1).leading_zeros()
+    }
+
+    /// Category of a hit-to-taken ratio, `0 = coldest`.
+    pub fn category(&self, hit_to_taken: f64) -> u8 {
+        self.thresholds.iter().filter(|&&t| hit_to_taken > t).count() as u8
+    }
+
+    /// The cut points.
+    pub fn thresholds(&self) -> &[f64] {
+        &self.thresholds
+    }
+}
+
+impl Default for TemperatureConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Searches a 3-category threshold pair maximizing the number of OPT hits
+/// "explained": hot branches should account for as many hits as possible
+/// while staying at most ~half of all branches (mirroring the paper's
+/// empirical tuning). The score is the total OPT hit count of branches the
+/// candidate classifies hot, penalized when hot branches exceed the BTB's
+/// reach.
+pub fn search_thresholds(profile: &OptProfile, candidates: &[(f64, f64)]) -> (f64, f64) {
+    let mut best = (0.5, 0.8);
+    let mut best_score = f64::MIN;
+    for &(y1, y2) in candidates {
+        if y1 > y2 {
+            continue;
+        }
+        let score = threshold_score(profile, y1, y2);
+        if score > best_score {
+            best_score = score;
+            best = (y1, y2);
+        }
+    }
+    best
+}
+
+/// Scoring function shared by [`search_thresholds`] and the two-fold
+/// cross-validation: rewards classifying high-hit branches hot and
+/// low-hit branches cold.
+fn threshold_score(profile: &OptProfile, y1: f64, y2: f64) -> f64 {
+    let mut score = 0.0;
+    for c in profile.branches.values() {
+        let h = c.hit_to_taken();
+        let cat = TemperatureConfig::new(vec![y1, y2]).category(h);
+        // Hot branches earn their hits; cold branches earn their avoided
+        // pollution (bypasses); middling classifications earn nothing.
+        match cat {
+            2 => score += c.opt_hits as f64,
+            0 => score += c.bypasses as f64 - c.opt_hits as f64,
+            _ => {}
+        }
+    }
+    score
+}
+
+/// Two-fold cross-validation (paper Fig. 17's "two-fold" variant): split
+/// the trace in half, pick thresholds on one half, validate on the other,
+/// and keep the better direction.
+pub fn two_fold_thresholds(
+    first_half: &OptProfile,
+    second_half: &OptProfile,
+    candidates: &[(f64, f64)],
+) -> (f64, f64) {
+    let a = search_thresholds(first_half, candidates);
+    let b = search_thresholds(second_half, candidates);
+    // Validate each on the opposite fold.
+    let score_a = threshold_score(second_half, a.0, a.1);
+    let score_b = threshold_score(first_half, b.0, b.1);
+    if score_a >= score_b {
+        a
+    } else {
+        b
+    }
+}
+
+/// The default candidate grid for threshold searches.
+pub fn default_candidates() -> Vec<(f64, f64)> {
+    let steps: Vec<f64> = (1..10).map(|i| i as f64 / 10.0).collect();
+    let mut grid = Vec::new();
+    for &y1 in &steps {
+        for &y2 in &steps {
+            if y1 <= y2 {
+                grid.push((y1, y2));
+            }
+        }
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::BranchCounters;
+
+    #[test]
+    fn paper_thresholds_classify() {
+        assert_eq!(Temperature::of(0.95), Temperature::Hot);
+        assert_eq!(Temperature::of(0.80), Temperature::Warm, "boundary is inclusive-left");
+        assert_eq!(Temperature::of(0.65), Temperature::Warm);
+        assert_eq!(Temperature::of(0.50), Temperature::Cold);
+        assert_eq!(Temperature::of(0.0), Temperature::Cold);
+    }
+
+    #[test]
+    fn config_matches_enum() {
+        let cfg = TemperatureConfig::paper_default();
+        assert_eq!(cfg.categories(), 3);
+        assert_eq!(cfg.hint_bits(), 2);
+        for (ratio, want) in [(0.95, 2u8), (0.7, 1), (0.2, 0)] {
+            assert_eq!(cfg.category(ratio), want, "ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn uniform_categories_are_even() {
+        let cfg = TemperatureConfig::uniform(4);
+        assert_eq!(cfg.categories(), 4);
+        assert_eq!(cfg.category(0.1), 0);
+        assert_eq!(cfg.category(0.3), 1);
+        assert_eq!(cfg.category(0.6), 2);
+        assert_eq!(cfg.category(0.9), 3);
+    }
+
+    #[test]
+    fn hint_bits_cover_16_categories() {
+        assert_eq!(TemperatureConfig::uniform(2).hint_bits(), 1);
+        assert_eq!(TemperatureConfig::uniform(3).hint_bits(), 2);
+        assert_eq!(TemperatureConfig::uniform(4).hint_bits(), 2);
+        assert_eq!(TemperatureConfig::uniform(8).hint_bits(), 3);
+        assert_eq!(TemperatureConfig::uniform(16).hint_bits(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascend")]
+    fn unsorted_thresholds_rejected() {
+        let _ = TemperatureConfig::new(vec![0.8, 0.5]);
+    }
+
+    fn profile_with(hot_hits: u64, cold_bypasses: u64) -> OptProfile {
+        let mut p = OptProfile::default();
+        p.branches.insert(
+            0x10,
+            BranchCounters { taken: hot_hits + 1, opt_hits: hot_hits, inserts: 1, bypasses: 0 },
+        );
+        p.branches.insert(
+            0x20,
+            BranchCounters { taken: cold_bypasses, opt_hits: 0, inserts: 0, bypasses: cold_bypasses },
+        );
+        p
+    }
+
+    #[test]
+    fn search_prefers_separating_thresholds() {
+        let p = profile_with(1000, 500);
+        let (y1, y2) = search_thresholds(&p, &default_candidates());
+        // The hot branch (ratio ~0.999) must classify hot, the cold one
+        // (0.0) cold, under the found thresholds.
+        let cfg = TemperatureConfig::new(vec![y1, y2]);
+        assert_eq!(cfg.category(0.999), 2);
+        assert_eq!(cfg.category(0.0), 0);
+    }
+
+    #[test]
+    fn two_fold_picks_a_candidate() {
+        let a = profile_with(100, 50);
+        let b = profile_with(120, 10);
+        let (y1, y2) = two_fold_thresholds(&a, &b, &default_candidates());
+        assert!(y1 <= y2);
+        assert!((0.0..=1.0).contains(&y1));
+    }
+}

@@ -1,0 +1,308 @@
+//! Binary and text codecs for [`Trace`]s.
+//!
+//! The binary format is a compact, versioned, varint-based encoding:
+//!
+//! ```text
+//! magic  "BTBT"            4 bytes
+//! version                  varint (currently 1)
+//! name length, name bytes  varint + UTF-8
+//! record count             varint
+//! per record:
+//!   flags byte             kind in bits 0..3, taken in bit 3
+//!   pc delta               signed varint (zig-zag) from previous pc
+//!   target delta           signed varint (zig-zag) from pc
+//!   inst_gap               varint
+//! ```
+//!
+//! Delta + zig-zag encoding keeps typical records to a handful of bytes since
+//! branch PCs and targets are clustered.
+
+use std::io::{self, Read, Write};
+
+use crate::{BranchKind, BranchRecord, Trace};
+
+const MAGIC: &[u8; 4] = b"BTBT";
+const VERSION: u64 = 1;
+
+/// Error returned when decoding a trace fails.
+#[derive(Debug)]
+pub enum CodecError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The input did not start with the `BTBT` magic.
+    BadMagic,
+    /// The input is a newer format version than this reader understands.
+    UnsupportedVersion(u64),
+    /// A record carried an unknown branch-kind code.
+    BadKind(u8),
+    /// The trace name was not valid UTF-8.
+    BadName,
+    /// A varint ran past 10 bytes or the input ended mid-value.
+    Truncated,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Io(e) => write!(f, "i/o error: {e}"),
+            CodecError::BadMagic => f.write_str("input is not a BTBT trace"),
+            CodecError::UnsupportedVersion(v) => write!(f, "unsupported trace version {v}"),
+            CodecError::BadKind(c) => write!(f, "unknown branch kind code {c}"),
+            CodecError::BadName => f.write_str("trace name is not valid utf-8"),
+            CodecError::Truncated => f.write_str("unexpected end of input"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CodecError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CodecError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            CodecError::Truncated
+        } else {
+            CodecError::Io(e)
+        }
+    }
+}
+
+fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            return w.write_all(&[byte]);
+        }
+        w.write_all(&[byte | 0x80])?;
+    }
+}
+
+fn read_varint<R: Read>(r: &mut R) -> Result<u64, CodecError> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut byte = [0u8; 1];
+        r.read_exact(&mut byte)?;
+        let b = byte[0];
+        if shift >= 64 {
+            return Err(CodecError::Truncated);
+        }
+        v |= u64::from(b & 0x7f) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Writes `trace` in the compact binary format.
+///
+/// # Errors
+///
+/// Returns any error from the underlying writer.
+///
+/// # Examples
+///
+/// ```
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// use btb_trace::{read_binary, write_binary, BranchKind, BranchRecord, Trace};
+///
+/// let mut trace = Trace::new("demo");
+/// trace.push(BranchRecord::taken(0x400100, 0x400200, BranchKind::CondDirect, 3));
+///
+/// let mut buf = Vec::new();
+/// write_binary(&mut buf, &trace)?;
+/// assert_eq!(read_binary(&mut buf.as_slice())?, trace);
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_binary<W: Write>(w: &mut W, trace: &Trace) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    write_varint(w, VERSION)?;
+    write_varint(w, trace.name().len() as u64)?;
+    w.write_all(trace.name().as_bytes())?;
+    write_varint(w, trace.len() as u64)?;
+    let mut prev_pc = 0u64;
+    for r in trace.records() {
+        let flags = r.kind.code() | (u8::from(r.taken) << 3);
+        w.write_all(&[flags])?;
+        write_varint(w, zigzag(r.pc.wrapping_sub(prev_pc) as i64))?;
+        write_varint(w, zigzag(r.target.wrapping_sub(r.pc) as i64))?;
+        write_varint(w, u64::from(r.inst_gap))?;
+        prev_pc = r.pc;
+    }
+    Ok(())
+}
+
+/// Reads a trace previously written with [`write_binary`].
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] when the input is malformed, truncated, or in an
+/// unsupported version.
+pub fn read_binary<R: Read>(r: &mut R) -> Result<Trace, CodecError> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    let version = read_varint(r)?;
+    if version != VERSION {
+        return Err(CodecError::UnsupportedVersion(version));
+    }
+    let name_len = read_varint(r)? as usize;
+    let mut name = vec![0u8; name_len];
+    r.read_exact(&mut name)?;
+    let name = String::from_utf8(name).map_err(|_| CodecError::BadName)?;
+    let count = read_varint(r)? as usize;
+    let mut trace = Trace::new(name);
+    let mut prev_pc = 0u64;
+    for _ in 0..count {
+        let mut flags = [0u8; 1];
+        r.read_exact(&mut flags)?;
+        let kind = BranchKind::from_code(flags[0] & 0x7).ok_or(CodecError::BadKind(flags[0] & 0x7))?;
+        let taken = flags[0] & 0x8 != 0;
+        let pc = prev_pc.wrapping_add(unzigzag(read_varint(r)?) as u64);
+        let target = pc.wrapping_add(unzigzag(read_varint(r)?) as u64);
+        let inst_gap = read_varint(r)? as u32;
+        trace.push(BranchRecord { pc, target, kind, taken, inst_gap });
+        prev_pc = pc;
+    }
+    Ok(trace)
+}
+
+/// Writes `trace` as one human-readable line per record:
+/// `pc target kind T|N gap`.
+///
+/// # Errors
+///
+/// Returns any error from the underlying writer.
+pub fn write_text<W: Write>(w: &mut W, trace: &Trace) -> io::Result<()> {
+    writeln!(w, "# trace {}", trace.name())?;
+    for r in trace.records() {
+        writeln!(
+            w,
+            "{:#x} {:#x} {} {} {}",
+            r.pc,
+            r.target,
+            r.kind,
+            if r.taken { 'T' } else { 'N' },
+            r.inst_gap
+        )?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new("codec-test");
+        t.push(BranchRecord::taken(0x40_0000, 0x40_1000, BranchKind::DirectCall, 12));
+        t.push(BranchRecord::not_taken(0x40_1004, BranchKind::CondDirect, 2));
+        t.push(BranchRecord::taken(0x40_1010, 0x3f_0000, BranchKind::IndirectJump, 0));
+        t.push(BranchRecord::taken(0x3f_0040, 0x40_0004, BranchKind::Return, 9));
+        t
+    }
+
+    #[test]
+    fn binary_roundtrip_preserves_everything() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &t).unwrap();
+        let back = read_binary(&mut buf.as_slice()).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = read_binary(&mut &b"NOPE0000"[..]).unwrap_err();
+        assert!(matches!(err, CodecError::BadMagic), "{err}");
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &t).unwrap();
+        for cut in [5, buf.len() / 2, buf.len() - 1] {
+            let err = read_binary(&mut &buf[..cut]).unwrap_err();
+            assert!(matches!(err, CodecError::Truncated), "cut={cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn unsupported_version_is_reported() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        write_varint(&mut buf, 99).unwrap();
+        let err = read_binary(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CodecError::UnsupportedVersion(99)));
+    }
+
+    #[test]
+    fn text_output_is_line_per_record() {
+        let t = sample_trace();
+        let mut buf = Vec::new();
+        write_text(&mut buf, &t).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 1 + t.len());
+        assert!(text.contains("icall") || text.contains("call"));
+    }
+
+    #[test]
+    fn varint_boundaries_roundtrip() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v).unwrap();
+            assert_eq!(read_varint(&mut buf.as_slice()).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_roundtrips_extremes() {
+        for v in [0i64, 1, -1, i64::MAX, i64::MIN, -123456789] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    fn arb_record() -> impl Strategy<Value = BranchRecord> {
+        (any::<u64>(), any::<u64>(), 0u8..6, any::<bool>(), any::<u32>()).prop_map(
+            |(pc, target, kind, taken, inst_gap)| {
+                let kind = BranchKind::from_code(kind).unwrap();
+                // Only conditionals may be not-taken.
+                let taken = taken || !kind.is_conditional();
+                BranchRecord { pc, target, kind, taken, inst_gap }
+            },
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn prop_binary_roundtrip(records in proptest::collection::vec(arb_record(), 0..200),
+                                 name in "[a-z0-9_-]{0,24}") {
+            let t = Trace::from_records(name, records);
+            let mut buf = Vec::new();
+            write_binary(&mut buf, &t).unwrap();
+            let back = read_binary(&mut buf.as_slice()).unwrap();
+            prop_assert_eq!(back, t);
+        }
+    }
+}

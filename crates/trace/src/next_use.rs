@@ -1,0 +1,139 @@
+//! Next-use oracle over the taken-branch (BTB access) stream.
+//!
+//! Belady's OPT replacement evicts the entry whose *next use* is furthest in
+//! the future; Hawkeye's OPTgen and the Thermometer profiler both replay OPT
+//! offline. All of them consume the same precomputed oracle: for access `i`
+//! in the taken-branch stream, the position of the next access to the same
+//! branch PC (or "never").
+
+use std::collections::HashMap;
+
+use crate::Trace;
+
+/// Sentinel access position meaning "this branch is never taken again".
+pub const NEVER: u64 = u64::MAX;
+
+/// Precomputed next-use positions for the taken-branch stream of a trace.
+#[derive(Clone, Debug)]
+pub struct NextUseOracle {
+    /// `pcs[i]` is the branch PC of the i-th taken-branch access.
+    pcs: Vec<u64>,
+    /// `next[i]` is the access index of the next access to `pcs[i]`, or
+    /// [`NEVER`].
+    next: Vec<u64>,
+}
+
+impl NextUseOracle {
+    /// Builds the oracle in a single backward pass over `trace`'s taken
+    /// branches.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use btb_trace::{next_use::NEVER, BranchKind, BranchRecord, NextUseOracle, Trace};
+    ///
+    /// let mut t = Trace::new("o");
+    /// for pc in [0x10u64, 0x20, 0x10] {
+    ///     t.push(BranchRecord::taken(pc, 0x100, BranchKind::UncondDirect, 0));
+    /// }
+    /// let oracle = NextUseOracle::build(&t);
+    /// assert_eq!(oracle.next_use(0), 2);      // 0x10 recurs at access 2
+    /// assert_eq!(oracle.next_use(1), NEVER);  // 0x20 never recurs
+    /// ```
+    pub fn build(trace: &Trace) -> Self {
+        let pcs: Vec<u64> = trace.taken().map(|r| r.pc).collect();
+        let mut next = vec![NEVER; pcs.len()];
+        let mut last_seen: HashMap<u64, u64> = HashMap::new();
+        for (i, &pc) in pcs.iter().enumerate().rev() {
+            if let Some(&later) = last_seen.get(&pc) {
+                next[i] = later;
+            }
+            last_seen.insert(pc, i as u64);
+        }
+        Self { pcs, next }
+    }
+
+    /// Number of accesses (taken branches) in the stream.
+    pub fn len(&self) -> usize {
+        self.pcs.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pcs.is_empty()
+    }
+
+    /// The branch PC of access `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn pc(&self, i: usize) -> u64 {
+        self.pcs[i]
+    }
+
+    /// The access index of the next access to the same PC after access `i`,
+    /// or [`NEVER`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn next_use(&self, i: usize) -> u64 {
+        self.next[i]
+    }
+
+    /// Iterates over `(pc, next_use)` pairs in access order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.pcs.iter().copied().zip(self.next.iter().copied())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BranchKind, BranchRecord};
+    use proptest::prelude::*;
+
+    fn trace_of(pcs: &[u64]) -> Trace {
+        let mut t = Trace::new("t");
+        for &pc in pcs {
+            t.push(BranchRecord::taken(pc, pc + 0x100, BranchKind::UncondDirect, 0));
+        }
+        t
+    }
+
+    #[test]
+    fn not_taken_branches_are_excluded() {
+        let mut t = trace_of(&[0x10]);
+        t.push(BranchRecord::not_taken(0x10, BranchKind::CondDirect, 0));
+        t.push(BranchRecord::taken(0x10, 0x110, BranchKind::CondDirect, 0));
+        let o = NextUseOracle::build(&t);
+        assert_eq!(o.len(), 2);
+        assert_eq!(o.next_use(0), 1);
+    }
+
+    #[test]
+    fn chains_link_in_order() {
+        let o = NextUseOracle::build(&trace_of(&[1, 2, 1, 3, 2, 1]));
+        assert_eq!(o.next_use(0), 2);
+        assert_eq!(o.next_use(2), 5);
+        assert_eq!(o.next_use(5), NEVER);
+        assert_eq!(o.next_use(1), 4);
+        assert_eq!(o.next_use(4), NEVER);
+        assert_eq!(o.next_use(3), NEVER);
+    }
+
+    proptest! {
+        /// next_use(i) is always the minimal j > i with pcs[j] == pcs[i].
+        #[test]
+        fn prop_next_use_is_minimal(pcs in proptest::collection::vec(0u64..16, 0..64)) {
+            let o = NextUseOracle::build(&trace_of(&pcs));
+            for i in 0..o.len() {
+                let expected = (i + 1..o.len())
+                    .find(|&j| o.pc(j) == o.pc(i))
+                    .map_or(NEVER, |j| j as u64);
+                prop_assert_eq!(o.next_use(i), expected);
+            }
+        }
+    }
+}

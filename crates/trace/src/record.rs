@@ -1,0 +1,184 @@
+//! Single dynamic branch execution records.
+
+use std::fmt;
+
+/// Classification of a branch instruction.
+///
+/// Matches the categories modern BTBs distinguish (and that Shotgun-style
+/// designs partition on): conditional vs. unconditional, direct vs. indirect,
+/// calls and returns.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BranchKind {
+    /// Conditional direct branch (`jcc`): may be taken or not taken.
+    CondDirect,
+    /// Unconditional direct jump (`jmp imm`): always taken.
+    UncondDirect,
+    /// Direct call (`call imm`): always taken, pushes a return address.
+    DirectCall,
+    /// Indirect jump (`jmp reg/mem`): always taken, target varies.
+    IndirectJump,
+    /// Indirect call (`call reg/mem`): always taken, target varies, pushes a
+    /// return address.
+    IndirectCall,
+    /// Return (`ret`): always taken, target predicted by the RAS.
+    Return,
+}
+
+impl Default for BranchKind {
+    /// Defaults to [`BranchKind::CondDirect`], the overwhelmingly most common
+    /// kind in real traces.
+    fn default() -> Self {
+        BranchKind::CondDirect
+    }
+}
+
+impl BranchKind {
+    /// Every kind, in a stable order (useful for histograms).
+    pub const ALL: [BranchKind; 6] = [
+        BranchKind::CondDirect,
+        BranchKind::UncondDirect,
+        BranchKind::DirectCall,
+        BranchKind::IndirectJump,
+        BranchKind::IndirectCall,
+        BranchKind::Return,
+    ];
+
+    /// Whether the branch has a dynamic direction (only conditional direct
+    /// branches do; every other kind is always taken).
+    pub fn is_conditional(self) -> bool {
+        self == BranchKind::CondDirect
+    }
+
+    /// Whether the target comes from a register or memory operand.
+    pub fn is_indirect(self) -> bool {
+        matches!(self, BranchKind::IndirectJump | BranchKind::IndirectCall)
+    }
+
+    /// Whether the branch pushes a return address onto the RAS.
+    pub fn is_call(self) -> bool {
+        matches!(self, BranchKind::DirectCall | BranchKind::IndirectCall)
+    }
+
+    /// Whether the branch pops the RAS.
+    pub fn is_return(self) -> bool {
+        self == BranchKind::Return
+    }
+
+    /// Compact stable integer encoding used by the binary codec.
+    pub fn code(self) -> u8 {
+        match self {
+            BranchKind::CondDirect => 0,
+            BranchKind::UncondDirect => 1,
+            BranchKind::DirectCall => 2,
+            BranchKind::IndirectJump => 3,
+            BranchKind::IndirectCall => 4,
+            BranchKind::Return => 5,
+        }
+    }
+
+    /// Inverse of [`BranchKind::code`]; returns `None` for unknown codes.
+    pub fn from_code(code: u8) -> Option<Self> {
+        Self::ALL.get(usize::from(code)).copied()
+    }
+}
+
+impl fmt::Display for BranchKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BranchKind::CondDirect => "cond",
+            BranchKind::UncondDirect => "jmp",
+            BranchKind::DirectCall => "call",
+            BranchKind::IndirectJump => "ijmp",
+            BranchKind::IndirectCall => "icall",
+            BranchKind::Return => "ret",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One dynamic execution of a branch instruction.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct BranchRecord {
+    /// Address of the branch instruction.
+    pub pc: u64,
+    /// Resolved target address. For a not-taken conditional this is the
+    /// fall-through address and is ignored by consumers.
+    pub target: u64,
+    /// Static classification of the branch.
+    pub kind: BranchKind,
+    /// Whether the branch was taken this execution.
+    pub taken: bool,
+    /// Number of sequential (non-branch) instructions executed since the
+    /// previous record.
+    pub inst_gap: u32,
+}
+
+impl BranchRecord {
+    /// Creates a taken-branch record.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use btb_trace::{BranchKind, BranchRecord};
+    /// let r = BranchRecord::taken(0x1000, 0x2000, BranchKind::DirectCall, 7);
+    /// assert!(r.taken);
+    /// ```
+    pub fn taken(pc: u64, target: u64, kind: BranchKind, inst_gap: u32) -> Self {
+        Self { pc, target, kind, taken: true, inst_gap }
+    }
+
+    /// Creates a not-taken conditional record; the fall-through target is
+    /// `pc + 4` by convention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kind` is not conditional — only conditional branches can
+    /// fall through.
+    pub fn not_taken(pc: u64, kind: BranchKind, inst_gap: u32) -> Self {
+        assert!(kind.is_conditional(), "only conditional branches can be not taken");
+        Self { pc, target: pc + 4, kind, taken: false, inst_gap }
+    }
+
+    /// The fall-through address (the next sequential instruction).
+    pub fn fall_through(&self) -> u64 {
+        self.pc + 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates_are_consistent() {
+        for kind in BranchKind::ALL {
+            // A branch is at most one of: conditional, call, return.
+            let roles =
+                usize::from(kind.is_conditional()) + usize::from(kind.is_call()) + usize::from(kind.is_return());
+            assert!(roles <= 1, "{kind:?} plays multiple roles");
+        }
+        assert!(BranchKind::IndirectCall.is_indirect());
+        assert!(BranchKind::IndirectCall.is_call());
+        assert!(!BranchKind::Return.is_indirect());
+    }
+
+    #[test]
+    fn kind_code_roundtrip() {
+        for kind in BranchKind::ALL {
+            assert_eq!(BranchKind::from_code(kind.code()), Some(kind));
+        }
+        assert_eq!(BranchKind::from_code(200), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "only conditional")]
+    fn not_taken_rejects_unconditional() {
+        let _ = BranchRecord::not_taken(0x10, BranchKind::Return, 0);
+    }
+
+    #[test]
+    fn fall_through_is_next_instruction() {
+        let r = BranchRecord::taken(0x100, 0x900, BranchKind::CondDirect, 0);
+        assert_eq!(r.fall_through(), 0x104);
+    }
+}

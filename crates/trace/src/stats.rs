@@ -1,0 +1,262 @@
+//! Summary statistics over a branch trace.
+
+use std::collections::HashMap;
+
+use crate::{BranchKind, BranchRecord, Trace};
+
+/// Per-static-branch aggregate counters.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct BranchSummary {
+    /// Times this branch executed taken.
+    pub taken_count: u64,
+    /// Times this branch executed not taken.
+    pub not_taken_count: u64,
+    /// Number of distinct targets observed (>= 2 implies indirect-style
+    /// polymorphism).
+    pub distinct_targets: u32,
+    /// The kind recorded on first encounter.
+    pub kind: BranchKind,
+    /// Sum of |target - pc| over taken executions, for mean target distance.
+    pub target_distance_sum: u128,
+}
+
+impl BranchSummary {
+    /// Total dynamic executions.
+    pub fn executions(&self) -> u64 {
+        self.taken_count + self.not_taken_count
+    }
+
+    /// Fraction of executions that were taken, in `[0, 1]`.
+    /// Returns 0 for a branch that never executed.
+    pub fn taken_ratio(&self) -> f64 {
+        let n = self.executions();
+        if n == 0 {
+            0.0
+        } else {
+            self.taken_count as f64 / n as f64
+        }
+    }
+
+    /// Branch *bias*: how lopsided the direction is, in `[0.5, 1.0]` (paper
+    /// Fig. 8 correlates this with temperature).
+    pub fn bias(&self) -> f64 {
+        let r = self.taken_ratio();
+        r.max(1.0 - r)
+    }
+
+    /// Mean |target - pc| over taken executions.
+    pub fn mean_target_distance(&self) -> f64 {
+        if self.taken_count == 0 {
+            0.0
+        } else {
+            self.target_distance_sum as f64 / self.taken_count as f64
+        }
+    }
+}
+
+/// Whole-trace statistics.
+#[derive(Clone, Debug, Default)]
+pub struct TraceStats {
+    /// Total dynamic branch records.
+    pub dynamic_branches: u64,
+    /// Total dynamic taken branches (BTB accesses).
+    pub dynamic_taken: u64,
+    /// Total instructions implied by the trace.
+    pub instructions: u64,
+    /// Dynamic count per branch kind.
+    pub kind_histogram: [u64; BranchKind::ALL.len()],
+    /// Per-static-branch summaries keyed by PC.
+    pub branches: HashMap<u64, BranchSummary>,
+}
+
+impl TraceStats {
+    /// Computes statistics over a trace in a single pass.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use btb_trace::{BranchKind, BranchRecord, Trace, TraceStats};
+    ///
+    /// let mut t = Trace::new("s");
+    /// t.push(BranchRecord::taken(0x10, 0x50, BranchKind::CondDirect, 9));
+    /// t.push(BranchRecord::not_taken(0x10, BranchKind::CondDirect, 9));
+    /// let stats = TraceStats::collect(&t);
+    /// assert_eq!(stats.unique_branches(), 1);
+    /// assert_eq!(stats.taken_ratio(), 0.5);
+    /// ```
+    pub fn collect(trace: &Trace) -> Self {
+        let mut stats = TraceStats::default();
+        let mut targets: HashMap<u64, Vec<u64>> = HashMap::new();
+        for r in trace.records() {
+            stats.observe(r);
+            if r.taken {
+                let seen = targets.entry(r.pc).or_default();
+                if !seen.contains(&r.target) {
+                    seen.push(r.target);
+                }
+            }
+        }
+        for (pc, seen) in targets {
+            if let Some(s) = stats.branches.get_mut(&pc) {
+                s.distinct_targets = seen.len() as u32;
+            }
+        }
+        stats
+    }
+
+    fn observe(&mut self, r: &BranchRecord) {
+        self.dynamic_branches += 1;
+        self.instructions += 1 + u64::from(r.inst_gap);
+        self.kind_histogram[usize::from(r.kind.code())] += 1;
+        let entry = self.branches.entry(r.pc).or_insert(BranchSummary {
+            kind: r.kind,
+            ..BranchSummary::default()
+        });
+        if r.taken {
+            self.dynamic_taken += 1;
+            entry.taken_count += 1;
+            entry.target_distance_sum += u128::from(r.target.abs_diff(r.pc));
+        } else {
+            entry.not_taken_count += 1;
+        }
+    }
+
+    /// Number of unique static branches in the trace.
+    pub fn unique_branches(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// Number of unique static branches that were taken at least once — the
+    /// BTB branch footprint.
+    pub fn unique_taken_branches(&self) -> usize {
+        self.branches.values().filter(|b| b.taken_count > 0).count()
+    }
+
+    /// Dynamic taken ratio across the whole trace.
+    pub fn taken_ratio(&self) -> f64 {
+        if self.dynamic_branches == 0 {
+            0.0
+        } else {
+            self.dynamic_taken as f64 / self.dynamic_branches as f64
+        }
+    }
+
+    /// Dynamic branch density: branches per instruction.
+    pub fn branch_density(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.dynamic_branches as f64 / self.instructions as f64
+        }
+    }
+
+    /// Fraction of dynamic branches of the given kind.
+    pub fn kind_fraction(&self, kind: BranchKind) -> f64 {
+        if self.dynamic_branches == 0 {
+            0.0
+        } else {
+            self.kind_histogram[usize::from(kind.code())] as f64 / self.dynamic_branches as f64
+        }
+    }
+}
+
+/// Pearson correlation coefficient between two equal-length samples.
+///
+/// Returns 0 when either sample has zero variance or fewer than two points
+/// (the paper's Fig. 8 treats undefined correlations as "no correlation").
+///
+/// # Panics
+///
+/// Panics if `xs` and `ys` have different lengths.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson requires equal-length samples");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let mx = xs.iter().sum::<f64>() / nf;
+    let my = ys.iter().sum::<f64>() / nf;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        0.0
+    } else {
+        cov / (vx.sqrt() * vy.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> Trace {
+        let mut t = Trace::new("stats");
+        t.push(BranchRecord::taken(0x100, 0x200, BranchKind::CondDirect, 5));
+        t.push(BranchRecord::not_taken(0x100, BranchKind::CondDirect, 5));
+        t.push(BranchRecord::taken(0x100, 0x200, BranchKind::CondDirect, 5));
+        t.push(BranchRecord::taken(0x300, 0x500, BranchKind::IndirectCall, 1));
+        t.push(BranchRecord::taken(0x300, 0x700, BranchKind::IndirectCall, 1));
+        t
+    }
+
+    #[test]
+    fn counts_are_correct() {
+        let s = TraceStats::collect(&trace());
+        assert_eq!(s.dynamic_branches, 5);
+        assert_eq!(s.dynamic_taken, 4);
+        assert_eq!(s.unique_branches(), 2);
+        assert_eq!(s.unique_taken_branches(), 2);
+        assert_eq!(s.instructions, 5 + 5 + 5 + 5 + 1 + 1);
+    }
+
+    #[test]
+    fn per_branch_summary() {
+        let s = TraceStats::collect(&trace());
+        let b = &s.branches[&0x100];
+        assert_eq!(b.taken_count, 2);
+        assert_eq!(b.not_taken_count, 1);
+        assert_eq!(b.distinct_targets, 1);
+        assert!((b.taken_ratio() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((b.bias() - 2.0 / 3.0).abs() < 1e-12);
+        let i = &s.branches[&0x300];
+        assert_eq!(i.distinct_targets, 2);
+        assert_eq!(i.mean_target_distance(), ((0x500 - 0x300) + (0x700 - 0x300)) as f64 / 2.0);
+    }
+
+    #[test]
+    fn kind_fractions_sum_to_one() {
+        let s = TraceStats::collect(&trace());
+        let total: f64 = BranchKind::ALL.iter().map(|&k| s.kind_fraction(k)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_and_anti() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let inv = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &inv) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_is_zero() {
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn empty_trace_stats_are_zero() {
+        let s = TraceStats::collect(&Trace::new("empty"));
+        assert_eq!(s.taken_ratio(), 0.0);
+        assert_eq!(s.branch_density(), 0.0);
+        assert_eq!(s.unique_branches(), 0);
+    }
+}

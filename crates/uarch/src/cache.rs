@@ -1,0 +1,202 @@
+//! Instruction-side cache hierarchy (Table 1: 32KB/8-way L1I, 512KB/8-way
+//! L2, 2MB/16-way LLC, 64-byte blocks), LRU-managed.
+//!
+//! The simulator only streams instructions, so the hierarchy tracks the
+//! instruction path: an access that misses L1I probes L2, then LLC, then
+//! memory, installing the block on the way back (inclusive fills). The
+//! returned [`HitLevel`] tells the frontend which latency to charge.
+
+/// 64-byte cache blocks.
+pub const BLOCK_BYTES: u64 = 64;
+
+/// Where an instruction-fetch access was satisfied.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum HitLevel {
+    /// Hit in the L1 instruction cache (no stall).
+    L1,
+    /// Missed L1, hit the unified L2.
+    L2,
+    /// Missed L2, hit the last-level cache.
+    Llc,
+    /// Missed everywhere: fetched from DRAM.
+    Memory,
+}
+
+/// A single set-associative, LRU-managed cache level.
+#[derive(Clone, Debug)]
+pub struct CacheLevel {
+    sets: usize,
+    ways: usize,
+    /// tags[set * ways + way], `u64::MAX` = invalid.
+    tags: Vec<u64>,
+    stamps: Vec<u64>,
+    clock: u64,
+    /// Demand + prefetch lookups.
+    pub accesses: u64,
+    /// Lookups that missed this level.
+    pub misses: u64,
+}
+
+impl CacheLevel {
+    /// Creates a level of `size_bytes` capacity and `ways` associativity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide into whole sets.
+    pub fn new(size_bytes: usize, ways: usize) -> Self {
+        let blocks = size_bytes / BLOCK_BYTES as usize;
+        assert!(ways > 0 && blocks.is_multiple_of(ways), "invalid cache geometry: {size_bytes}B / {ways} ways");
+        let sets = blocks / ways;
+        Self {
+            sets,
+            ways,
+            tags: vec![u64::MAX; blocks],
+            stamps: vec![0; blocks],
+            clock: 0,
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    fn set_of(&self, block: u64) -> usize {
+        (block % self.sets as u64) as usize
+    }
+
+    /// Looks up `block`; on miss, installs it (evicting LRU). Returns
+    /// whether it hit.
+    pub fn access(&mut self, block: u64) -> bool {
+        self.accesses += 1;
+        self.clock += 1;
+        let set = self.set_of(block);
+        let base = set * self.ways;
+        let row = &mut self.tags[base..base + self.ways];
+        if let Some(w) = row.iter().position(|&t| t == block) {
+            self.stamps[base + w] = self.clock;
+            return true;
+        }
+        self.misses += 1;
+        let victim = (0..self.ways)
+            .min_by_key(|&w| self.stamps[base + w])
+            .expect("cache set non-empty");
+        self.tags[base + victim] = block;
+        self.stamps[base + victim] = self.clock;
+        false
+    }
+
+    /// Whether `block` is resident, without updating LRU or counters.
+    pub fn contains(&self, block: u64) -> bool {
+        let set = self.set_of(block);
+        let base = set * self.ways;
+        self.tags[base..base + self.ways].contains(&block)
+    }
+}
+
+/// The three-level instruction hierarchy.
+#[derive(Clone, Debug)]
+pub struct InstrHierarchy {
+    /// L1 instruction cache.
+    pub l1i: CacheLevel,
+    /// Unified L2 (instruction path only in this model).
+    pub l2: CacheLevel,
+    /// Last-level cache.
+    pub llc: CacheLevel,
+}
+
+impl InstrHierarchy {
+    /// The Table 1 hierarchy. (L1I is 32KB/8-way; Table 1's 48KB/12-way L1D
+    /// is irrelevant to the instruction path.)
+    pub fn table1() -> Self {
+        Self {
+            l1i: CacheLevel::new(32 * 1024, 8),
+            l2: CacheLevel::new(512 * 1024, 8),
+            llc: CacheLevel::new(2 * 1024 * 1024, 16),
+        }
+    }
+
+    /// Fetches the block containing `addr`, returning where it hit and
+    /// installing it in every level above.
+    pub fn fetch(&mut self, addr: u64) -> HitLevel {
+        let block = addr / BLOCK_BYTES;
+        if self.l1i.access(block) {
+            HitLevel::L1
+        } else if self.l2.access(block) {
+            HitLevel::L2
+        } else if self.llc.access(block) {
+            HitLevel::Llc
+        } else {
+            HitLevel::Memory
+        }
+    }
+
+    /// Instruction misses at the L2 level per kilo-instruction — the
+    /// paper's L2iMPKI metric (Fig. 3).
+    pub fn l2_impki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.l2.misses as f64 * 1000.0 / instructions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_fetch_hits_l1() {
+        let mut h = InstrHierarchy::table1();
+        assert_eq!(h.fetch(0x1000), HitLevel::Memory);
+        assert_eq!(h.fetch(0x1000), HitLevel::L1);
+        assert_eq!(h.fetch(0x1004), HitLevel::L1, "same 64B block");
+        assert_eq!(h.fetch(0x1040), HitLevel::Memory, "next block is cold");
+    }
+
+    #[test]
+    fn working_set_between_l1_and_l2_hits_l2() {
+        let mut h = InstrHierarchy::table1();
+        // 128KB working set: thrashes 32KB L1I, fits 512KB L2.
+        let blocks: Vec<u64> = (0..2048u64).map(|i| i * 64).collect();
+        for _ in 0..3 {
+            for &b in &blocks {
+                h.fetch(b);
+            }
+        }
+        let mut l2_hits = 0;
+        for &b in &blocks {
+            if h.fetch(b) == HitLevel::L2 {
+                l2_hits += 1;
+            }
+        }
+        assert!(l2_hits > 1500, "l2 hits {l2_hits}");
+    }
+
+    #[test]
+    fn giant_working_set_reaches_memory() {
+        let mut h = InstrHierarchy::table1();
+        // 8MB working set exceeds the 2MB LLC.
+        let blocks: Vec<u64> = (0..131_072u64).map(|i| i * 64).collect();
+        for _ in 0..2 {
+            for &b in &blocks {
+                h.fetch(b);
+            }
+        }
+        let mem = blocks.iter().filter(|&&b| h.fetch(b) == HitLevel::Memory).count();
+        assert!(mem > 100_000, "memory fetches {mem}");
+    }
+
+    #[test]
+    fn l2_impki_counts_only_l2_misses() {
+        let mut h = InstrHierarchy::table1();
+        h.fetch(0x0); // L1 miss, L2 miss, LLC miss
+        h.fetch(0x0); // all hits
+        assert_eq!(h.l2.misses, 1);
+        assert!((h.l2_impki(1000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid cache geometry")]
+    fn bad_geometry_rejected() {
+        let _ = CacheLevel::new(100, 3);
+    }
+}

@@ -1,0 +1,138 @@
+//! Indirect Branch Target Buffer (4096 entries per Table 1).
+//!
+//! A hybrid indirect target predictor in the ITTAGE spirit, sized to the
+//! paper's 4096-entry budget split across two halves:
+//!
+//! * a **last-target** table indexed by PC — perfect for monomorphic sites,
+//! * a **path** table indexed by PC hashed with a short history of recent
+//!   indirect targets — captures polymorphic sites (virtual dispatch,
+//!   interpreter loops) whose target correlates with the calling context.
+//!
+//! Prediction prefers a matching path entry, falling back to last-target.
+
+/// A hybrid last-target + path-history indirect target predictor.
+#[derive(Clone, Debug)]
+pub struct Ibtb {
+    last: Vec<Option<(u64, u64)>>, // (tag=pc, target)
+    path_table: Vec<Option<(u64, u64)>>,
+    mask: u64,
+    /// Folded history of recent indirect targets.
+    path: u64,
+}
+
+impl Ibtb {
+    /// Creates an IBTB with `entries` total slots (rounded up so each half
+    /// is a power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries > 0, "IBTB needs at least one entry");
+        let half = (entries / 2).max(1).next_power_of_two();
+        Self {
+            last: vec![None; half],
+            path_table: vec![None; half],
+            mask: (half - 1) as u64,
+            path: 0,
+        }
+    }
+
+    /// The Table 1 configuration: 4096 entries.
+    pub fn table1() -> Self {
+        Self::new(4096)
+    }
+
+    fn last_index(&self, pc: u64) -> usize {
+        ((pc >> 2) & self.mask) as usize
+    }
+
+    fn path_index(&self, pc: u64) -> usize {
+        (((pc >> 2) ^ self.path.wrapping_mul(0x9e37)) & self.mask) as usize
+    }
+
+    /// Predicts the target for the indirect branch at `pc`, if any table has
+    /// a matching entry under the current path.
+    pub fn predict(&self, pc: u64) -> Option<u64> {
+        if let Some((tag, target)) = self.path_table[self.path_index(pc)] {
+            if tag == pc {
+                return Some(target);
+            }
+        }
+        let (tag, target) = self.last[self.last_index(pc)]?;
+        (tag == pc).then_some(target)
+    }
+
+    /// Installs the resolved target in both tables and advances the path
+    /// history.
+    pub fn update(&mut self, pc: u64, target: u64) {
+        let li = self.last_index(pc);
+        let pi = self.path_index(pc);
+        self.last[li] = Some((pc, target));
+        self.path_table[pi] = Some((pc, target));
+        self.path = (self.path << 3) ^ (target >> 2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicts_after_update() {
+        let mut ibtb = Ibtb::new(64);
+        assert_eq!(ibtb.predict(0x100), None);
+        ibtb.update(0x100, 0x900);
+        assert_eq!(ibtb.predict(0x100), Some(0x900));
+    }
+
+    #[test]
+    fn monomorphic_site_is_stable() {
+        let mut ibtb = Ibtb::new(64);
+        ibtb.update(0x200, 0x1234);
+        for _ in 0..10 {
+            assert_eq!(ibtb.predict(0x200), Some(0x1234));
+            ibtb.update(0x200, 0x1234);
+        }
+    }
+
+    #[test]
+    fn path_history_separates_contexts() {
+        let mut ibtb = Ibtb::new(1024);
+        // Same branch alternating between two targets, each determined by
+        // the preceding indirect branch's target (a stable context). The
+        // path table learns both contexts; last-target alone would be ~0%.
+        let mut correct = 0;
+        let mut total = 0;
+        for round in 0..400 {
+            let ctx_target = if round % 2 == 0 { 0xaaa0 } else { 0xbbb0 };
+            ibtb.update(0x50, ctx_target);
+            let want = ctx_target + 0x10;
+            if round > 40 {
+                total += 1;
+                if ibtb.predict(0x100) == Some(want) {
+                    correct += 1;
+                }
+            }
+            ibtb.update(0x100, want);
+        }
+        assert!(correct as f64 / total as f64 > 0.9, "correct {correct}/{total}");
+    }
+
+    #[test]
+    fn alternating_without_context_defeats_last_target() {
+        let mut ibtb = Ibtb::new(64);
+        // Strict alternation with no other indirect activity: the path
+        // register cycles with period 2 after warmup, so even this is
+        // learnable by the path table.
+        let mut correct = 0;
+        for round in 0..200 {
+            let want = if round % 2 == 0 { 0x1110 } else { 0x2220 };
+            if round > 50 && ibtb.predict(0x300) == Some(want) {
+                correct += 1;
+            }
+            ibtb.update(0x300, want);
+        }
+        assert!(correct > 100, "correct {correct}");
+    }
+}

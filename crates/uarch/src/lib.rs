@@ -1,0 +1,48 @@
+//! Trace-driven decoupled-frontend (FDIP) simulator.
+//!
+//! This crate rebuilds, from scratch, the simulation substrate the paper
+//! runs on (a ChampSim derivative configured per Table 1): a decoupled
+//! frontend in which the branch-prediction unit runs ahead of instruction
+//! fetch, prefetching I-cache blocks for the predicted path (Fetch Directed
+//! Instruction Prefetching). Frontend performance is then bounded by three
+//! event classes, all modeled here:
+//!
+//! * **BTB misses** on taken branches — the BPU cannot continue on the
+//!   taken path; the frontend re-steers when the branch decodes/resolves
+//!   and the run-ahead (prefetch shield) collapses,
+//! * **direction / target mispredictions** — pipeline flush,
+//! * **I-cache misses** whose latency the run-ahead failed to hide.
+//!
+//! The backend is modeled as a fixed-width consumer (6-wide per Table 1)
+//! with constant penalties — DESIGN.md §2 explains why this preserves the
+//! paper's *relative* speedups.
+//!
+//! # Examples
+//!
+//! ```
+//! use btb_model::policies::Lru;
+//! use btb_trace::{BranchKind, BranchRecord, Trace};
+//! use uarch_sim::{Frontend, FrontendConfig};
+//!
+//! let mut trace = Trace::new("demo");
+//! for i in 0..100u64 {
+//!     trace.push(BranchRecord::taken(0x1000 + (i % 10) * 64, 0x1000, BranchKind::UncondDirect, 7));
+//! }
+//! let mut frontend = Frontend::new(FrontendConfig::table1(), Lru::new());
+//! let report = frontend.run(&trace, None);
+//! assert_eq!(report.instructions, trace.instruction_count());
+//! assert!(report.ipc() > 0.0);
+//! ```
+
+pub mod cache;
+pub mod frontend;
+pub mod ibtb;
+pub mod prefetch;
+pub mod ras;
+pub mod report;
+pub mod tage;
+pub mod timing;
+
+pub use frontend::{Frontend, FrontendConfig, PerfectOptions};
+pub use report::SimReport;
+pub use timing::TimingConfig;

@@ -1,0 +1,49 @@
+//! BTB prefetchers: Confluence, Shotgun and Twig, simplified per DESIGN.md.
+//!
+//! The paper compares Thermometer against (and composes it with) three
+//! prior BTB-prefetching proposals:
+//!
+//! * **Confluence** (Kaynak+, MICRO'15) — fills BTB entries alongside the
+//!   I-cache blocks a temporal stream predictor prefetches ([`Confluence`]).
+//! * **Shotgun** (Kumar+, ASPLOS'18) — statically partitions the BTB by
+//!   branch type and uses unconditional-branch targets to prefetch the
+//!   callee region's conditional branches ([`shotgun::ShotgunBtb`]).
+//! * **Twig** (Khan+, MICRO'21) — profile-guided: a trace analysis finds
+//!   (trigger → future-BTB-miss) correlations and injects prefetches at
+//!   the triggers ([`twig::TwigPrefetcher`]).
+//!
+//! The simplified models preserve each design's qualitative failure modes
+//! (Fig. 4): temporal prefetchers miss non-recurring streams, Shotgun's
+//! static partition mismatches working sets and wastes capacity on
+//! prefetch metadata, and Twig composes well with replacement policies.
+
+pub mod confluence;
+pub mod shotgun;
+pub mod twig;
+
+pub use confluence::Confluence;
+pub use shotgun::ShotgunBtb;
+pub use twig::TwigPrefetcher;
+
+use btb_model::{AccessOutcome, BtbInterface};
+use btb_trace::BranchRecord;
+
+/// A BTB prefetcher hooked after every demand access.
+pub trait Prefetcher {
+    /// Prefetcher name as used in figure labels.
+    fn name(&self) -> &'static str;
+
+    /// Observes one taken-branch access and may install prefetch fills.
+    fn on_branch(&mut self, record: &BranchRecord, outcome: AccessOutcome, btb: &mut dyn BtbInterface);
+
+    /// Consults the prefetcher's side *prefetch buffer* for a branch the
+    /// main BTB just missed; returns true (consuming the entry) when the
+    /// buffer holds it. State-of-the-art BTB prefetchers (Twig, Shotgun)
+    /// stage prefetches in a small buffer so speculative entries do not
+    /// contend for main-BTB ways — which matters doubly under Thermometer,
+    /// whose bypass rule would otherwise reject cold prefetches outright
+    /// (paper §3.4).
+    fn buffer_hit(&mut self, _pc: u64) -> bool {
+        false
+    }
+}

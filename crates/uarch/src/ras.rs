@@ -1,0 +1,105 @@
+//! Return Address Stack (32 entries per Table 1).
+
+/// A circular return-address stack: calls push, returns pop-and-predict.
+/// Overflow silently wraps (oldest entries are lost), underflow predicts
+/// nothing — both are real-hardware behaviours that surface as return
+/// mispredictions on deep or unbalanced call chains.
+#[derive(Clone, Debug)]
+pub struct Ras {
+    entries: Vec<u64>,
+    top: usize,
+    depth: usize,
+}
+
+impl Ras {
+    /// Creates a RAS with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "RAS capacity must be positive");
+        Self { entries: vec![0; capacity], top: 0, depth: 0 }
+    }
+
+    /// The Table 1 configuration: 32 entries.
+    pub fn table1() -> Self {
+        Self::new(32)
+    }
+
+    /// Pushes a return address (on a call).
+    pub fn push(&mut self, return_addr: u64) {
+        self.top = (self.top + 1) % self.entries.len();
+        self.entries[self.top] = return_addr;
+        self.depth = (self.depth + 1).min(self.entries.len());
+    }
+
+    /// Pops the predicted return address (on a return); `None` when empty.
+    pub fn pop(&mut self) -> Option<u64> {
+        if self.depth == 0 {
+            return None;
+        }
+        let addr = self.entries[self.top];
+        self.top = (self.top + self.entries.len() - 1) % self.entries.len();
+        self.depth -= 1;
+        Some(addr)
+    }
+
+    /// Current number of live entries.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Empties the stack (e.g. after a pipeline flush with RAS repair
+    /// disabled).
+    pub fn clear(&mut self) {
+        self.depth = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut ras = Ras::new(8);
+        ras.push(0x10);
+        ras.push(0x20);
+        assert_eq!(ras.pop(), Some(0x20));
+        assert_eq!(ras.pop(), Some(0x10));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn overflow_wraps_losing_oldest() {
+        let mut ras = Ras::new(2);
+        ras.push(1);
+        ras.push(2);
+        ras.push(3); // overwrites 1
+        assert_eq!(ras.pop(), Some(3));
+        assert_eq!(ras.pop(), Some(2));
+        // Third pop returns the stale slot or nothing; depth hit capacity 2.
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn matched_deep_nesting_within_capacity_is_exact() {
+        let mut ras = Ras::table1();
+        for i in 0..32u64 {
+            ras.push(0x1000 + i);
+        }
+        assert_eq!(ras.depth(), 32);
+        for i in (0..32u64).rev() {
+            assert_eq!(ras.pop(), Some(0x1000 + i));
+        }
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut ras = Ras::new(4);
+        ras.push(7);
+        ras.clear();
+        assert_eq!(ras.pop(), None);
+    }
+}

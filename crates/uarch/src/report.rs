@@ -1,0 +1,130 @@
+//! Simulation results.
+
+use btb_model::BtbStats;
+
+/// Everything one frontend simulation produces.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SimReport {
+    /// Workload name.
+    pub workload: String,
+    /// Configuration label ("LRU", "OPT", "Thermometer", ...).
+    pub label: String,
+    /// Retired instructions.
+    pub instructions: u64,
+    /// Total cycles.
+    pub cycles: f64,
+    /// Cycles lost to BTB-miss re-steers.
+    pub btb_stall_cycles: f64,
+    /// Cycles lost to direction mispredictions.
+    pub direction_stall_cycles: f64,
+    /// Cycles lost to indirect/return target mispredictions.
+    pub target_stall_cycles: f64,
+    /// Cycles lost to I-cache misses not hidden by the run-ahead.
+    pub icache_stall_cycles: f64,
+    /// Conditional branches executed / mispredicted.
+    pub cond_branches: u64,
+    /// Conditional mispredictions.
+    pub cond_mispredicts: u64,
+    /// Indirect (jump/call) executions and mispredictions.
+    pub indirect_branches: u64,
+    /// Indirect target mispredictions (with a BTB/IBTB hit).
+    pub indirect_mispredicts: u64,
+    /// Returns executed.
+    pub returns: u64,
+    /// Return-target mispredictions.
+    pub return_mispredicts: u64,
+    /// BTB counters.
+    pub btb: BtbStats,
+    /// Demand misses served by a prefetcher's staging buffer (no re-steer
+    /// charged; counted as misses in `btb` but hits for timing).
+    pub btb_buffer_hits: u64,
+    /// L1I demand misses.
+    pub l1i_misses: u64,
+    /// L2 instruction misses (for L2iMPKI, Fig. 3).
+    pub l2i_misses: u64,
+    /// LLC instruction misses.
+    pub llc_misses: u64,
+}
+
+impl SimReport {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0.0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles
+        }
+    }
+
+    /// Relative speedup of `self` over `baseline`, as a percentage
+    /// (the paper's figures are all in this unit).
+    pub fn speedup_over(&self, baseline: &SimReport) -> f64 {
+        (self.ipc() / baseline.ipc() - 1.0) * 100.0
+    }
+
+    /// BTB misses per kilo-instruction.
+    pub fn btb_mpki(&self) -> f64 {
+        self.btb.mpki(self.instructions)
+    }
+
+    /// BTB miss reduction versus `baseline`, as a percentage of the
+    /// baseline's misses (Fig. 12's unit).
+    pub fn miss_reduction_over(&self, baseline: &SimReport) -> f64 {
+        if baseline.btb.misses == 0 {
+            0.0
+        } else {
+            (1.0 - self.btb.misses as f64 / baseline.btb.misses as f64) * 100.0
+        }
+    }
+
+    /// L2 instruction misses per kilo-instruction.
+    pub fn l2_impki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.l2i_misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Conditional misprediction rate in `[0, 1]`.
+    pub fn cond_mispredict_rate(&self) -> f64 {
+        if self.cond_branches == 0 {
+            0.0
+        } else {
+            self.cond_mispredicts as f64 / self.cond_branches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(instructions: u64, cycles: f64, btb_misses: u64) -> SimReport {
+        SimReport {
+            instructions,
+            cycles,
+            btb: BtbStats { misses: btb_misses, accesses: btb_misses * 2, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn ipc_and_speedup() {
+        let base = report(1000, 1000.0, 100);
+        let fast = report(1000, 800.0, 50);
+        assert!((base.ipc() - 1.0).abs() < 1e-12);
+        assert!((fast.speedup_over(&base) - 25.0).abs() < 1e-9);
+        assert!((fast.miss_reduction_over(&base) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_reports_do_not_divide_by_zero() {
+        let z = SimReport::default();
+        assert_eq!(z.ipc(), 0.0);
+        assert_eq!(z.btb_mpki(), 0.0);
+        assert_eq!(z.l2_impki(), 0.0);
+        assert_eq!(z.cond_mispredict_rate(), 0.0);
+        assert_eq!(z.miss_reduction_over(&z), 0.0);
+    }
+}

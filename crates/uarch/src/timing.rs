@@ -1,0 +1,107 @@
+//! Timing parameters of the frontend model.
+
+/// Latencies, widths and penalties (cycles). Defaults follow Table 1's
+/// 6-wide core with a 24-entry (192-instruction) FTQ, with penalties in the
+/// range ChampSim charges for the corresponding events.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct TimingConfig {
+    /// Instructions fetched/retired per cycle.
+    pub fetch_width: u32,
+    /// FTQ capacity in instructions (24 entries x 8 per Table 1): caps how
+    /// far the BPU can run ahead of fetch, i.e. the prefetch shield.
+    pub ftq_instructions: u32,
+    /// Cycles the BPU spends per branch record (prediction throughput).
+    pub bpu_cycles_per_branch: f64,
+    /// Penalty for a frontend re-steer on a BTB miss of a taken branch
+    /// (detected at decode: the FDIP run-ahead collapses).
+    pub btb_miss_penalty: u32,
+    /// Penalty for a conditional direction misprediction (execute-time
+    /// flush).
+    pub cond_mispredict_penalty: u32,
+    /// Penalty for an indirect-target or return misprediction.
+    pub target_mispredict_penalty: u32,
+    /// L2 hit latency for an instruction fetch that missed L1I.
+    pub l2_latency: u32,
+    /// LLC hit latency.
+    pub llc_latency: u32,
+    /// DRAM latency.
+    pub memory_latency: u32,
+    /// Concurrent I-cache prefetches the FDIP engine sustains (memory-level
+    /// parallelism). While the run-ahead shield is up, the FTQ's blocks are
+    /// prefetched in parallel, so a stream of misses costs `latency / mlp`
+    /// per block; only the first demand miss after a squash serializes.
+    pub prefetch_mlp: u32,
+}
+
+impl TimingConfig {
+    /// The paper's Table 1 configuration.
+    pub fn table1() -> Self {
+        Self {
+            fetch_width: 6,
+            ftq_instructions: 192,
+            bpu_cycles_per_branch: 0.5,
+            btb_miss_penalty: 16,
+            cond_mispredict_penalty: 17,
+            target_mispredict_penalty: 17,
+            l2_latency: 12,
+            llc_latency: 40,
+            memory_latency: 220,
+            prefetch_mlp: 8,
+        }
+    }
+
+    /// Maximum run-ahead lead, in cycles, implied by the FTQ size.
+    pub fn max_lead(&self) -> f64 {
+        f64::from(self.ftq_instructions) / f64::from(self.fetch_width)
+    }
+
+    /// Validates parameter sanity.
+    ///
+    /// Returns a message describing the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.fetch_width == 0 {
+            return Err("fetch_width must be positive".into());
+        }
+        if self.ftq_instructions == 0 {
+            return Err("ftq_instructions must be positive".into());
+        }
+        if self.bpu_cycles_per_branch <= 0.0 || !self.bpu_cycles_per_branch.is_finite() {
+            return Err("bpu_cycles_per_branch must be positive and finite".into());
+        }
+        if !(self.l2_latency <= self.llc_latency && self.llc_latency <= self.memory_latency) {
+            return Err("latencies must be monotone: l2 <= llc <= memory".into());
+        }
+        if self.prefetch_mlp == 0 {
+            return Err("prefetch_mlp must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        Self::table1()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_is_valid() {
+        assert_eq!(TimingConfig::table1().validate(), Ok(()));
+    }
+
+    #[test]
+    fn max_lead_matches_ftq() {
+        let t = TimingConfig::table1();
+        assert!((t.max_lead() - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_catches_inverted_latencies() {
+        let t = TimingConfig { l2_latency: 100, llc_latency: 40, ..TimingConfig::table1() };
+        assert!(t.validate().is_err());
+    }
+}

@@ -1,0 +1,131 @@
+//! Frontend timing invariants and prefetcher integration.
+
+use btb_model::policies::Lru;
+use btb_model::{AccessOutcome, BtbConfig, BtbInterface};
+use btb_trace::{BranchKind, BranchRecord, Trace};
+use btb_workloads::{AppSpec, InputConfig};
+use uarch_sim::prefetch::{Prefetcher, TwigPrefetcher};
+use uarch_sim::{Frontend, FrontendConfig, PerfectOptions};
+
+fn workload(len: usize) -> Trace {
+    let spec = AppSpec { functions: 300, handlers: 30, ..AppSpec::by_name("kafka").unwrap() };
+    spec.generate(InputConfig::input(0), len)
+}
+
+#[test]
+fn cycle_accounting_identity() {
+    // total cycles == fetch-bandwidth base + the four stall categories.
+    let trace = workload(60_000);
+    let mut fe = Frontend::new(FrontendConfig::table1(), Lru::new());
+    let r = fe.run(&trace, None);
+    let base: f64 = trace.records().iter().map(|rec| (1 + rec.inst_gap) as f64 / 6.0).sum();
+    let accounted = base
+        + r.btb_stall_cycles
+        + r.direction_stall_cycles
+        + r.target_stall_cycles
+        + r.icache_stall_cycles;
+    assert!(
+        (r.cycles - accounted).abs() < 1e-6 * r.cycles,
+        "cycles {} != accounted {}",
+        r.cycles,
+        accounted
+    );
+}
+
+#[test]
+fn all_perfect_structures_reach_fetch_bound() {
+    let trace = workload(60_000);
+    let mut cfg = FrontendConfig::table1();
+    cfg.perfect = PerfectOptions { btb: true, branch_predictor: true, icache: true };
+    let r = Frontend::new(cfg, Lru::new()).run(&trace, None);
+    // Only target mispredicts (indirects/returns) remain.
+    assert_eq!(r.btb_stall_cycles, 0.0);
+    assert_eq!(r.direction_stall_cycles, 0.0);
+    assert_eq!(r.icache_stall_cycles, 0.0);
+    let bound = 6.0;
+    assert!(r.ipc() <= bound + 1e-9);
+    assert!(r.ipc() > 0.5 * bound, "ipc {:.2} far from the fetch bound", r.ipc());
+}
+
+#[test]
+fn stall_categories_shrink_with_their_perfect_switch() {
+    let trace = workload(60_000);
+    let base = Frontend::new(FrontendConfig::table1(), Lru::new()).run(&trace, None);
+
+    let mut cfg = FrontendConfig::table1();
+    cfg.perfect.branch_predictor = true;
+    let no_bp = Frontend::new(cfg, Lru::new()).run(&trace, None);
+    assert_eq!(no_bp.direction_stall_cycles, 0.0);
+    assert!(no_bp.cycles < base.cycles);
+
+    let mut cfg = FrontendConfig::table1();
+    cfg.perfect.icache = true;
+    let no_ic = Frontend::new(cfg, Lru::new()).run(&trace, None);
+    assert_eq!(no_ic.icache_stall_cycles, 0.0);
+    assert!(no_ic.cycles < base.cycles);
+}
+
+#[test]
+fn buffer_hits_suppress_btb_penalty() {
+    /// A prefetcher whose buffer claims to hold *every* branch: all misses
+    /// become buffer hits, so no BTB stall cycles may be charged.
+    struct Omniscient;
+    impl Prefetcher for Omniscient {
+        fn name(&self) -> &'static str {
+            "Omniscient"
+        }
+        fn on_branch(&mut self, _r: &BranchRecord, _o: AccessOutcome, _b: &mut dyn BtbInterface) {}
+        fn buffer_hit(&mut self, _pc: u64) -> bool {
+            true
+        }
+    }
+
+    let trace = workload(30_000);
+    let mut fe = Frontend::new(FrontendConfig::table1(), Lru::new());
+    fe.set_prefetcher(Box::new(Omniscient));
+    let r = fe.run(&trace, None);
+    assert_eq!(r.btb_stall_cycles, 0.0, "buffer hits must cancel re-steers");
+    assert_eq!(r.btb_buffer_hits, r.btb.misses, "every miss was covered");
+    assert!(r.btb.misses > 0, "the BTB itself still records the misses");
+}
+
+#[test]
+fn twig_buffer_hits_are_counted_in_reports() {
+    let spec = AppSpec { functions: 600, handlers: 60, ..AppSpec::by_name("kafka").unwrap() };
+    let train = spec.generate(InputConfig::input(0), 150_000);
+    let test = spec.generate(InputConfig::input(0), 150_000);
+    let config = BtbConfig::new(1024, 4);
+    let twig = TwigPrefetcher::train(&train, config, 16);
+    let mut fe = Frontend::new(
+        FrontendConfig { btb: config, ..FrontendConfig::table1() },
+        Lru::new(),
+    );
+    fe.set_prefetcher(Box::new(twig));
+    let r = fe.run(&test, None);
+    assert!(r.btb_buffer_hits > 0, "twig never served a miss from its buffer");
+}
+
+#[test]
+fn prefetchers_never_change_instruction_count() {
+    let trace = workload(40_000);
+    let plain = Frontend::new(FrontendConfig::table1(), Lru::new()).run(&trace, None);
+    let mut fe = Frontend::new(FrontendConfig::table1(), Lru::new());
+    fe.set_prefetcher(Box::new(uarch_sim::prefetch::Confluence::new()));
+    let assisted = fe.run(&trace, None);
+    assert_eq!(plain.instructions, assisted.instructions);
+    assert!(assisted.cycles <= plain.cycles * 1.02, "a prefetcher should not slow LRU much here");
+}
+
+#[test]
+fn ftq_size_bounds_the_icache_shield() {
+    // Smaller FTQ -> less run-ahead -> more exposed I-cache stalls.
+    let trace = workload(80_000);
+    let stalls = |ftq: u32| {
+        let mut cfg = FrontendConfig::table1();
+        cfg.timing.ftq_instructions = ftq;
+        Frontend::new(cfg, Lru::new()).run(&trace, None).icache_stall_cycles
+    };
+    let tiny = stalls(24);
+    let big = stalls(512);
+    assert!(tiny >= big, "tiny FTQ ({tiny}) should expose >= stalls than big ({big})");
+}

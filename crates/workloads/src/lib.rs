@@ -1,0 +1,40 @@
+//! Synthetic workload generators for the Thermometer reproduction.
+//!
+//! The paper evaluates on Intel PT traces of 13 proprietary-infrastructure
+//! data center applications plus the CBP-5 and IPC-1 championship trace
+//! suites. None of those traces are redistributable, so this crate
+//! *synthesizes* branch traces with the same BTB-relevant structure
+//! (see DESIGN.md §2 for the substitution argument):
+//!
+//! * a static **program**: a call-graph DAG of functions made of basic
+//!   blocks terminated by conditional branches, loops, calls, returns and
+//!   indirect dispatch ([`program`]),
+//! * a seeded **builder** that generates a program from an application
+//!   parameter set ([`spec::AppSpec`]),
+//! * an **executor** that interprets the program as a request-serving loop
+//!   with Zipf-skewed, phase-shifting handler popularity, emitting a
+//!   [`btb_trace::Trace`] ([`exec`]),
+//! * the 13 named application models and the CBP-5 / IPC-1 style suites
+//!   ([`spec`], [`suite`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use btb_workloads::{AppSpec, InputConfig};
+//!
+//! let spec = AppSpec::by_name("kafka").expect("kafka is one of the 13 apps");
+//! let trace = spec.generate(InputConfig::input(0), 10_000);
+//! assert_eq!(trace.len(), 10_000);
+//! assert_eq!(trace.name(), "kafka#0");
+//! ```
+
+pub mod exec;
+pub mod program;
+pub mod spec;
+pub mod suite;
+pub mod zipf;
+
+pub use exec::InputConfig;
+pub use program::{Program, ProgramStats};
+pub use spec::AppSpec;
+pub use suite::{cbp5_suite, ipc1_suite, SuiteParams};

@@ -1,0 +1,304 @@
+//! The static program model: functions, basic blocks, branch sites.
+//!
+//! A [`Program`] is a call-graph DAG (edges only point to higher function
+//! indices, so execution depth is bounded) of [`Function`]s. Each function
+//! is a list of [`Block`]s; a block executes `inst_gap` sequential
+//! instructions and ends with one branch site whose behaviour is described
+//! by its [`Terminator`]. The executor ([`crate::exec`]) interprets this
+//! structure to emit a branch trace.
+
+/// Index of a function within a [`Program`].
+pub type FuncId = usize;
+
+/// Index of a block within a [`Function`].
+pub type BlockId = usize;
+
+/// How a basic block's terminating branch behaves.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Terminator {
+    /// Conditional direct branch: taken with probability `bias` to
+    /// `taken_target` (within the same function); otherwise falls through to
+    /// the next block. A `taken_target` at or before the current block forms
+    /// a loop.
+    Cond {
+        /// Target block when taken.
+        taken_target: BlockId,
+        /// Probability of being taken, in `[0, 1]`.
+        bias: f64,
+    },
+    /// Unconditional direct jump to a block in the same function.
+    Jump {
+        /// Target block.
+        target: BlockId,
+    },
+    /// Direct call; execution resumes at the next block after the callee
+    /// returns.
+    Call {
+        /// Callee function (always a higher index: the call graph is a DAG).
+        callee: FuncId,
+    },
+    /// Indirect call (virtual dispatch): one of `callees` chosen with
+    /// Zipf-skewed probability at runtime.
+    IndirectCall {
+        /// Candidate callees (all higher indices).
+        callees: Vec<FuncId>,
+    },
+    /// Indirect jump (switch dispatch): one of `targets` in this function.
+    IndirectJump {
+        /// Candidate target blocks.
+        targets: Vec<BlockId>,
+    },
+    /// Return to the caller. The last block of every function returns.
+    Return,
+}
+
+/// A basic block: straight-line instructions followed by one branch site.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Block {
+    /// Address of the terminating branch instruction.
+    pub pc: u64,
+    /// Sequential instructions executed before the branch.
+    pub inst_gap: u32,
+    /// The branch's behaviour.
+    pub terminator: Terminator,
+}
+
+/// A function: entry at block 0, return from the last block (and possibly
+/// early returns).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Function {
+    /// The function's basic blocks in layout order.
+    pub blocks: Vec<Block>,
+}
+
+impl Function {
+    /// Address of the function's first instruction (entry point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function has no blocks.
+    pub fn entry_pc(&self) -> u64 {
+        let first = self.blocks.first().expect("function has at least one block");
+        first.pc - u64::from(first.inst_gap) * 4
+    }
+}
+
+/// A complete synthetic program.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// All functions; call edges only go from lower to higher indices.
+    pub functions: Vec<Function>,
+    /// Entry points the request loop dispatches to.
+    pub handlers: Vec<FuncId>,
+}
+
+/// Structural summary of a program (used in tests and reports).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProgramStats {
+    /// Number of functions.
+    pub functions: usize,
+    /// Total basic blocks = total static branch sites.
+    pub blocks: usize,
+    /// Static conditional branch sites.
+    pub conditionals: usize,
+    /// Static call sites (direct + indirect).
+    pub calls: usize,
+    /// Static indirect branch sites (calls + jumps).
+    pub indirects: usize,
+    /// Static loop back-edges.
+    pub loops: usize,
+}
+
+impl Program {
+    /// Computes structural statistics.
+    pub fn stats(&self) -> ProgramStats {
+        let mut s = ProgramStats { functions: self.functions.len(), ..Default::default() };
+        for f in &self.functions {
+            for (i, b) in f.blocks.iter().enumerate() {
+                s.blocks += 1;
+                match &b.terminator {
+                    Terminator::Cond { taken_target, .. } => {
+                        s.conditionals += 1;
+                        if *taken_target <= i {
+                            s.loops += 1;
+                        }
+                    }
+                    Terminator::Call { .. } => s.calls += 1,
+                    Terminator::IndirectCall { .. } => {
+                        s.calls += 1;
+                        s.indirects += 1;
+                    }
+                    Terminator::IndirectJump { .. } => s.indirects += 1,
+                    Terminator::Jump { .. } | Terminator::Return => {}
+                }
+            }
+        }
+        s
+    }
+
+    /// Validates the structural invariants the executor relies on:
+    /// call edges strictly increase, branch targets are in range, the last
+    /// block of each function returns, and handler indices are valid.
+    ///
+    /// Returns a description of the first violation, if any.
+    pub fn validate(&self) -> Result<(), String> {
+        for (fi, f) in self.functions.iter().enumerate() {
+            if f.blocks.is_empty() {
+                return Err(format!("function {fi} has no blocks"));
+            }
+            if !matches!(f.blocks.last().expect("non-empty").terminator, Terminator::Return) {
+                return Err(format!("function {fi} does not end with a return"));
+            }
+            for (bi, b) in f.blocks.iter().enumerate() {
+                let check_block = |t: BlockId| -> Result<(), String> {
+                    if t >= f.blocks.len() {
+                        Err(format!("function {fi} block {bi}: target {t} out of range"))
+                    } else {
+                        Ok(())
+                    }
+                };
+                let check_callee = |c: FuncId| -> Result<(), String> {
+                    if c <= fi || c >= self.functions.len() {
+                        Err(format!("function {fi} block {bi}: callee {c} breaks DAG"))
+                    } else {
+                        Ok(())
+                    }
+                };
+                match &b.terminator {
+                    Terminator::Cond { taken_target, bias } => {
+                        check_block(*taken_target)?;
+                        if !(0.0..=1.0).contains(bias) {
+                            return Err(format!("function {fi} block {bi}: bias {bias} out of range"));
+                        }
+                        if bi + 1 >= f.blocks.len() {
+                            return Err(format!(
+                                "function {fi} block {bi}: conditional in last block cannot fall through"
+                            ));
+                        }
+                    }
+                    Terminator::Jump { target } => check_block(*target)?,
+                    Terminator::Call { callee } => {
+                        check_callee(*callee)?;
+                        if bi + 1 >= f.blocks.len() {
+                            return Err(format!("function {fi} block {bi}: call in last block"));
+                        }
+                    }
+                    Terminator::IndirectCall { callees } => {
+                        if callees.is_empty() {
+                            return Err(format!("function {fi} block {bi}: empty indirect call"));
+                        }
+                        for &c in callees {
+                            check_callee(c)?;
+                        }
+                        if bi + 1 >= f.blocks.len() {
+                            return Err(format!("function {fi} block {bi}: call in last block"));
+                        }
+                    }
+                    Terminator::IndirectJump { targets } => {
+                        if targets.is_empty() {
+                            return Err(format!("function {fi} block {bi}: empty indirect jump"));
+                        }
+                        for &t in targets {
+                            check_block(t)?;
+                        }
+                    }
+                    Terminator::Return => {}
+                }
+            }
+        }
+        for &h in &self.handlers {
+            if h >= self.functions.len() {
+                return Err(format!("handler {h} out of range"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaf(pc: u64) -> Function {
+        Function {
+            blocks: vec![Block { pc, inst_gap: 2, terminator: Terminator::Return }],
+        }
+    }
+
+    #[test]
+    fn entry_pc_accounts_for_gap() {
+        let f = Function {
+            blocks: vec![Block { pc: 0x120, inst_gap: 8, terminator: Terminator::Return }],
+        };
+        assert_eq!(f.entry_pc(), 0x120 - 32);
+    }
+
+    #[test]
+    fn validate_accepts_simple_program() {
+        let p = Program {
+            functions: vec![
+                Function {
+                    blocks: vec![
+                        Block { pc: 0x10, inst_gap: 1, terminator: Terminator::Call { callee: 1 } },
+                        Block {
+                            pc: 0x20,
+                            inst_gap: 1,
+                            terminator: Terminator::Cond { taken_target: 0, bias: 0.5 },
+                        },
+                        Block { pc: 0x30, inst_gap: 1, terminator: Terminator::Return },
+                    ],
+                },
+                leaf(0x100),
+            ],
+            handlers: vec![0],
+        };
+        assert_eq!(p.validate(), Ok(()));
+        let s = p.stats();
+        assert_eq!(s.functions, 2);
+        assert_eq!(s.blocks, 4);
+        assert_eq!(s.conditionals, 1);
+        assert_eq!(s.loops, 1);
+        assert_eq!(s.calls, 1);
+    }
+
+    #[test]
+    fn validate_rejects_non_dag_call() {
+        let p = Program {
+            functions: vec![
+                Function {
+                    blocks: vec![
+                        Block { pc: 0x10, inst_gap: 0, terminator: Terminator::Call { callee: 0 } },
+                        Block { pc: 0x14, inst_gap: 0, terminator: Terminator::Return },
+                    ],
+                },
+            ],
+            handlers: vec![],
+        };
+        assert!(p.validate().unwrap_err().contains("DAG"));
+    }
+
+    #[test]
+    fn validate_rejects_missing_return() {
+        let p = Program {
+            functions: vec![Function {
+                blocks: vec![Block { pc: 0x10, inst_gap: 0, terminator: Terminator::Jump { target: 0 } }],
+            }],
+            handlers: vec![],
+        };
+        assert!(p.validate().unwrap_err().contains("return"));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_target() {
+        let p = Program {
+            functions: vec![Function {
+                blocks: vec![
+                    Block { pc: 0x10, inst_gap: 0, terminator: Terminator::Jump { target: 7 } },
+                    Block { pc: 0x14, inst_gap: 0, terminator: Terminator::Return },
+                ],
+            }],
+            handlers: vec![],
+        };
+        assert!(p.validate().unwrap_err().contains("out of range"));
+    }
+}

@@ -1,0 +1,149 @@
+//! CBP-5 and IPC-1 style trace suites.
+//!
+//! The paper validates Thermometer on 663 CBP-5 traces (Fig. 17) and 50
+//! IPC-1 traces (Fig. 18). We synthesize suites with the published summary
+//! distribution (DESIGN.md §2): in CBP-5, roughly 45% of traces have a
+//! branch working set that fits in the 8K-entry BTB (suffering only
+//! compulsory misses, where every replacement policy ties), with a long
+//! tail of high-BTB-MPKI traces; in IPC-1, 9 of the 50 server traces have
+//! BTB MPKI ≥ 1.
+
+use crate::exec::InputConfig;
+use crate::spec::AppSpec;
+use btb_trace::Trace;
+
+/// Parameters for generating a trace suite.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SuiteParams {
+    /// Number of traces to generate.
+    pub count: usize,
+    /// Branch records per trace.
+    pub records: usize,
+}
+
+impl SuiteParams {
+    /// A suite of `count` traces of `records` records each.
+    pub fn new(count: usize, records: usize) -> Self {
+        Self { count, records }
+    }
+}
+
+/// Deterministic per-trace parameter scaler in `[0, 1)`.
+fn unit(i: usize, salt: u64) -> f64 {
+    let mut h = (i as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ salt;
+    h ^= h >> 29;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 32;
+    (h & 0xf_ffff) as f64 / f64::from(1 << 20)
+}
+
+/// Generates a CBP-5-style suite.
+///
+/// Trace working sets are log-uniform from well under the BTB size to far
+/// beyond it; small-footprint traces exercise only compulsory misses, as in
+/// the real suite (the paper reports 298 of 663 such traces).
+///
+/// # Examples
+///
+/// ```
+/// use btb_workloads::{cbp5_suite, SuiteParams};
+/// let traces = cbp5_suite(SuiteParams::new(4, 2000));
+/// assert_eq!(traces.len(), 4);
+/// assert!(traces[0].name().starts_with("cbp5_"));
+/// ```
+pub fn cbp5_suite(params: SuiteParams) -> Vec<Trace> {
+    (0..params.count)
+        .map(|i| {
+            let name = format!("cbp5_{i:03}");
+            // Stratified log-uniform footprint: 40..~80K functions, so any
+            // suite size reproducibly covers the whole range.
+            let scale = (i as f64 + 0.5) / params.count as f64;
+            let functions = (40.0 * 2048f64.powf(scale)) as usize;
+            let handlers = (functions / 2).clamp(4, 8192);
+            let spec = AppSpec {
+                // CBP traces are conditional-dominated.
+                call_fraction: 0.2,
+                indirect_fraction: 0.04,
+                loop_fraction: 0.12,
+                loop_bias: 0.7,
+                phase_len: 1500,
+                phase_shift: 7 + i % 19,
+                handler_zipf: 0.1 + unit(i, 0x217) * 0.4,
+                request_call_budget: 12,
+                ..AppSpec::base_public(&name, functions, handlers)
+            };
+            spec.generate(InputConfig::input(0), params.records)
+        })
+        .collect()
+}
+
+/// Generates an IPC-1-style suite of server traces.
+///
+/// Footprints are drawn so that roughly a fifth of the traces put real
+/// pressure on an 8K-entry BTB (the paper: 9 of 50 with BTB MPKI ≥ 1).
+pub fn ipc1_suite(params: SuiteParams) -> Vec<Trace> {
+    (0..params.count)
+        .map(|i| {
+            let name = format!("ipc1_server_{i:03}");
+            // Stratified with quadratic skew toward small footprints; the
+            // tail crosses the BTB capacity (paper: 9 of 50 traces with BTB
+            // MPKI >= 1).
+            let scale = (i as f64 + 0.5) / params.count as f64;
+            let functions = (60.0 + 2_600.0 * scale * scale * scale) as usize;
+            let handlers = (functions / 4).clamp(4, 1024);
+            let spec = AppSpec {
+                call_fraction: 0.24,
+                indirect_fraction: 0.08,
+                loop_fraction: 0.16,
+                phase_len: 8000,
+                phase_shift: 11 + i % 13,
+                request_call_budget: 24,
+                ..AppSpec::base_public(&name, functions, handlers)
+            };
+            spec.generate(InputConfig::input(0), params.records)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btb_trace::TraceStats;
+
+    #[test]
+    fn cbp5_names_and_counts() {
+        let traces = cbp5_suite(SuiteParams::new(3, 1500));
+        assert_eq!(traces.len(), 3);
+        for (i, t) in traces.iter().enumerate() {
+            assert_eq!(t.name(), format!("cbp5_{i:03}#0"));
+            assert_eq!(t.len(), 1500);
+        }
+    }
+
+    #[test]
+    fn cbp5_footprints_span_btb_capacity() {
+        // With enough traces, some must fit comfortably in 8K entries and
+        // some must exceed it.
+        let traces = cbp5_suite(SuiteParams::new(12, 30_000));
+        let footprints: Vec<usize> =
+            traces.iter().map(|t| TraceStats::collect(t).unique_taken_branches()).collect();
+        assert!(footprints.iter().any(|&f| f < 4096), "no small trace: {footprints:?}");
+        assert!(footprints.iter().any(|&f| f > 8192), "no large trace: {footprints:?}");
+    }
+
+    #[test]
+    fn ipc1_mostly_small_with_heavy_tail() {
+        let traces = ipc1_suite(SuiteParams::new(10, 20_000));
+        let footprints: Vec<usize> =
+            traces.iter().map(|t| TraceStats::collect(t).unique_taken_branches()).collect();
+        let small = footprints.iter().filter(|&&f| f < 8192).count();
+        assert!(small >= 5, "expected mostly small traces: {footprints:?}");
+    }
+
+    #[test]
+    fn suites_are_deterministic() {
+        let a = cbp5_suite(SuiteParams::new(2, 1000));
+        let b = cbp5_suite(SuiteParams::new(2, 1000));
+        assert_eq!(a[1].records(), b[1].records());
+    }
+}

@@ -1,0 +1,107 @@
+//! A small Zipf-distribution sampler.
+//!
+//! Data center request popularity is famously Zipf-skewed; the executor uses
+//! this sampler for handler selection and indirect-target dispatch. Kept
+//! in-crate (rather than pulling `rand_distr`) per DESIGN.md's minimal
+//! dependency policy.
+
+use rand::Rng;
+
+/// Samples ranks `0..n` with probability proportional to `1 / (rank+1)^s`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    /// Cumulative distribution, `cdf[i]` = P(rank <= i), last element 1.0.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is negative or non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf needs at least one rank");
+        assert!(s >= 0.0 && s.is_finite(), "zipf exponent must be finite and non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 0..n {
+            total += 1.0 / ((rank + 1) as f64).powf(s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler is over zero ranks (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one rank in `0..len()`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.sample_u(rng.gen())
+    }
+
+    /// Maps a uniform draw `u ∈ [0, 1)` to a rank (inverse-CDF); lets
+    /// callers split RNG access from table lookup to sidestep borrow
+    /// conflicts.
+    pub fn sample_u(&self, u: f64) -> usize {
+        // partition_point returns the first index with cdf > u.
+        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rank_zero_dominates_with_high_skew() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] * 5, "rank 0 ({}) vs rank 10 ({})", counts[0], counts[10]);
+        assert!(counts[0] > 2_000);
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = vec![0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as i64 - 10_000).abs() < 1_000, "uniform draw skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(3, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn empty_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

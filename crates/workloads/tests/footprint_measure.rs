@@ -1,0 +1,21 @@
+// temporary measurement test
+use btb_trace::TraceStats;
+use btb_workloads::{AppSpec, InputConfig};
+
+#[test]
+#[ignore]
+fn measure_footprints() {
+    for name in ["kafka", "verilator", "finagle-http", "clang"] {
+        let spec = AppSpec::by_name(name).unwrap();
+        for len in [50_000usize, 200_000, 800_000] {
+            let t = spec.generate(InputConfig::input(0), len);
+            let s = TraceStats::collect(&t);
+            println!(
+                "{name:15} len={len:7} unique_taken={:6} taken_ratio={:.2} insts={}",
+                s.unique_taken_branches(),
+                s.taken_ratio(),
+                s.instructions
+            );
+        }
+    }
+}

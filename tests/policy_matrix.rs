@@ -1,0 +1,123 @@
+//! Policy-matrix invariants: every replacement policy, driven by real
+//! workload traces, must satisfy the BTB accounting identities, and
+//! Belady's OPT must dominate them all.
+
+use btb_model::policies::{BeladyOpt, Ghrp, GhrpConfig, Hawkeye, HawkeyeConfig, Lru, Random, Srrip};
+use btb_model::{AccessContext, Btb, BtbConfig, BtbStats, ReplacementPolicy};
+use btb_trace::{NextUseOracle, Trace};
+use btb_workloads::{AppSpec, InputConfig};
+
+fn workload(name: &str) -> Trace {
+    AppSpec::by_name(name).expect("built-in app").generate(InputConfig::input(0), 120_000)
+}
+
+fn drive<P: ReplacementPolicy>(trace: &Trace, policy: P, config: BtbConfig, oracle: bool) -> BtbStats {
+    let oracle = oracle.then(|| NextUseOracle::build(trace));
+    let mut btb = Btb::new(config, policy);
+    for (i, r) in trace.taken().enumerate() {
+        let ctx = AccessContext {
+            pc: r.pc,
+            target: r.target,
+            kind: r.kind,
+            hint: 0,
+            next_use: oracle.as_ref().map_or(u64::MAX, |o| o.next_use(i)),
+            access_index: i as u64,
+        };
+        btb.access(&ctx);
+    }
+    btb.stats().clone()
+}
+
+#[test]
+fn accounting_identities_hold_for_every_policy() {
+    let trace = workload("python");
+    let config = BtbConfig::new(2048, 4);
+    let stats: Vec<(&str, BtbStats)> = vec![
+        ("LRU", drive(&trace, Lru::new(), config, false)),
+        ("Random", drive(&trace, Random::with_seed(3), config, false)),
+        ("SRRIP", drive(&trace, Srrip::new(), config, false)),
+        ("GHRP", drive(&trace, Ghrp::new(GhrpConfig::default()), config, false)),
+        ("Hawkeye", drive(&trace, Hawkeye::new(HawkeyeConfig::default()), config, false)),
+        ("OPT", drive(&trace, BeladyOpt::new(), config, true)),
+    ];
+    let accesses = stats[0].1.accesses;
+    for (name, s) in &stats {
+        assert_eq!(s.accesses, accesses, "{name}: access count differs");
+        assert_eq!(s.hits + s.misses, s.accesses, "{name}: hits+misses != accesses");
+        assert_eq!(s.fills + s.evictions + s.bypasses, s.misses, "{name}: miss breakdown");
+        assert_eq!(s.fills, stats[0].1.fills, "{name}: cold fills are policy-independent");
+    }
+}
+
+#[test]
+fn opt_dominates_every_online_policy_on_real_workloads() {
+    for name in ["kafka", "python", "finagle-http"] {
+        let trace = workload(name);
+        let config = BtbConfig::new(2048, 4);
+        let opt = drive(&trace, BeladyOpt::new(), config, true);
+        for (label, stats) in [
+            ("LRU", drive(&trace, Lru::new(), config, false)),
+            ("Random", drive(&trace, Random::with_seed(1), config, false)),
+            ("SRRIP", drive(&trace, Srrip::new(), config, false)),
+            ("GHRP", drive(&trace, Ghrp::new(GhrpConfig::default()), config, false)),
+            ("Hawkeye", drive(&trace, Hawkeye::new(HawkeyeConfig::default()), config, false)),
+        ] {
+            assert!(
+                opt.hits >= stats.hits,
+                "{name}: OPT ({}) lost to {label} ({})",
+                opt.hits,
+                stats.hits
+            );
+        }
+    }
+}
+
+#[test]
+fn only_opt_style_policies_bypass() {
+    let trace = workload("kafka");
+    let config = BtbConfig::new(1024, 4);
+    for (label, stats) in [
+        ("LRU", drive(&trace, Lru::new(), config, false)),
+        ("SRRIP", drive(&trace, Srrip::new(), config, false)),
+        ("GHRP", drive(&trace, Ghrp::new(GhrpConfig::default()), config, false)),
+        ("Hawkeye", drive(&trace, Hawkeye::new(HawkeyeConfig::default()), config, false)),
+    ] {
+        assert_eq!(stats.bypasses, 0, "{label} must never bypass");
+    }
+    let opt = drive(&trace, BeladyOpt::new(), config, true);
+    assert!(opt.bypasses > 0, "OPT should bypass cold streams under pressure");
+}
+
+#[test]
+fn capacity_monotonicity_for_opt() {
+    // More capacity can never hurt the optimal policy.
+    let trace = workload("python");
+    let mut prev_hits = 0;
+    for entries in [512usize, 1024, 2048, 4096] {
+        let stats = drive(&trace, BeladyOpt::new(), BtbConfig::new(entries, 4), true);
+        assert!(
+            stats.hits >= prev_hits,
+            "OPT hits decreased from {prev_hits} to {} at {entries} entries",
+            stats.hits
+        );
+        prev_hits = stats.hits;
+    }
+}
+
+#[test]
+fn remainder_set_geometry_runs_every_policy() {
+    // The 7979-entry geometry has a 3-way remainder set; every policy must
+    // handle the shorter row.
+    let trace = workload("finagle-http");
+    let config = BtbConfig::iso_storage_7979();
+    for stats in [
+        drive(&trace, Lru::new(), config, false),
+        drive(&trace, Srrip::new(), config, false),
+        drive(&trace, Ghrp::new(GhrpConfig::default()), config, false),
+        drive(&trace, Hawkeye::new(HawkeyeConfig::default()), config, false),
+        drive(&trace, BeladyOpt::new(), config, true),
+    ] {
+        assert!(stats.hits > 0);
+        assert_eq!(stats.hits + stats.misses, stats.accesses);
+    }
+}
