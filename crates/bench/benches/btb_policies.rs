@@ -1,23 +1,36 @@
 //! Throughput of the BTB under each replacement policy: accesses per
 //! second on a recorded workload stream. Replacement-policy overhead is
 //! what bounds how long a trace the figure harness can afford.
+//!
+//! Run with `cargo bench -p thermometer-bench --bench btb_policies`;
+//! results land in `results/bench_btb_policies.json` (median/MAD).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
-use btb_model::policies::{BeladyOpt, Ghrp, GhrpConfig, Hawkeye, HawkeyeConfig, Lru, Random, Srrip};
+use btb_model::policies::{
+    BeladyOpt, Ghrp, GhrpConfig, Hawkeye, HawkeyeConfig, Lru, Random, Srrip,
+};
 use btb_model::{AccessContext, Btb, BtbConfig, ReplacementPolicy};
 use btb_trace::{NextUseOracle, Trace};
 use btb_workloads::{AppSpec, InputConfig};
+use sim_support::BenchHarness;
 use thermometer::{HintTable, OptProfile, TemperatureConfig, ThermometerPolicy};
 
 const STREAM_LEN: usize = 100_000;
+const RESULTS_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
 
 fn workload() -> Trace {
-    AppSpec::by_name("kafka").expect("built-in").generate(InputConfig::input(0), STREAM_LEN)
+    AppSpec::by_name("kafka")
+        .expect("built-in")
+        .generate(InputConfig::input(0), STREAM_LEN)
 }
 
-fn drive<P: ReplacementPolicy>(trace: &Trace, oracle: &NextUseOracle, hints: &HintTable, policy: P) -> u64 {
+fn drive<P: ReplacementPolicy>(
+    trace: &Trace,
+    oracle: &NextUseOracle,
+    hints: &HintTable,
+    policy: P,
+) -> u64 {
     let mut btb = Btb::new(BtbConfig::table1(), policy);
     for (i, r) in trace.taken().enumerate() {
         let ctx = AccessContext {
@@ -33,39 +46,39 @@ fn drive<P: ReplacementPolicy>(trace: &Trace, oracle: &NextUseOracle, hints: &Hi
     btb.stats().hits
 }
 
-fn bench_policies(c: &mut Criterion) {
+fn main() {
     let trace = workload();
     let oracle = NextUseOracle::build(&trace);
     let profile = OptProfile::measure(&trace, BtbConfig::table1());
     let hints = HintTable::from_profile(&profile, &TemperatureConfig::paper_default());
-    let accesses = trace.taken().count() as u64;
+    let accesses = Some(trace.taken().count() as u64);
 
-    let mut group = c.benchmark_group("btb_access");
-    group.throughput(Throughput::Elements(accesses));
-    group.sample_size(10);
-    group.bench_function(BenchmarkId::from_parameter("lru"), |b| {
-        b.iter(|| drive(&trace, &oracle, &hints, Lru::new()))
+    let mut harness = BenchHarness::new("btb_policies");
+    harness.bench("lru", accesses, || {
+        drive(&trace, &oracle, &hints, Lru::new())
     });
-    group.bench_function(BenchmarkId::from_parameter("random"), |b| {
-        b.iter(|| drive(&trace, &oracle, &hints, Random::with_seed(7)))
+    harness.bench("random", accesses, || {
+        drive(&trace, &oracle, &hints, Random::with_seed(7))
     });
-    group.bench_function(BenchmarkId::from_parameter("srrip"), |b| {
-        b.iter(|| drive(&trace, &oracle, &hints, Srrip::new()))
+    harness.bench("srrip", accesses, || {
+        drive(&trace, &oracle, &hints, Srrip::new())
     });
-    group.bench_function(BenchmarkId::from_parameter("ghrp"), |b| {
-        b.iter(|| drive(&trace, &oracle, &hints, Ghrp::new(GhrpConfig::default())))
+    harness.bench("ghrp", accesses, || {
+        drive(&trace, &oracle, &hints, Ghrp::new(GhrpConfig::default()))
     });
-    group.bench_function(BenchmarkId::from_parameter("hawkeye"), |b| {
-        b.iter(|| drive(&trace, &oracle, &hints, Hawkeye::new(HawkeyeConfig::default())))
+    harness.bench("hawkeye", accesses, || {
+        drive(
+            &trace,
+            &oracle,
+            &hints,
+            Hawkeye::new(HawkeyeConfig::default()),
+        )
     });
-    group.bench_function(BenchmarkId::from_parameter("opt"), |b| {
-        b.iter(|| drive(&trace, &oracle, &hints, BeladyOpt::new()))
+    harness.bench("opt", accesses, || {
+        drive(&trace, &oracle, &hints, BeladyOpt::new())
     });
-    group.bench_function(BenchmarkId::from_parameter("thermometer"), |b| {
-        b.iter(|| drive(&trace, &oracle, &hints, ThermometerPolicy::new()))
+    harness.bench("thermometer", accesses, || {
+        drive(&trace, &oracle, &hints, ThermometerPolicy::new())
     });
-    group.finish();
+    harness.finish(RESULTS_DIR);
 }
-
-criterion_group!(benches, bench_policies);
-criterion_main!(benches);

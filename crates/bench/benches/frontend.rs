@@ -1,43 +1,41 @@
 //! Frontend simulation rate: records per second through the full FDIP
 //! model (TAGE + BTB + caches + timing). This bounds figure regeneration
 //! time — the Fig. 1/11 grids run ~100 of these simulations.
+//!
+//! Run with `cargo bench -p thermometer-bench --bench frontend`;
+//! results land in `results/bench_frontend.json` (median/MAD).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use btb_model::policies::Lru;
 use btb_trace::Trace;
 use btb_workloads::{AppSpec, InputConfig};
+use sim_support::BenchHarness;
 use thermometer::pipeline::{Pipeline, PipelineConfig};
 use uarch_sim::{Frontend, FrontendConfig};
 
 const STREAM_LEN: usize = 200_000;
+const RESULTS_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
 
 fn workload() -> Trace {
-    AppSpec::by_name("kafka").expect("built-in").generate(InputConfig::input(0), STREAM_LEN)
+    AppSpec::by_name("kafka")
+        .expect("built-in")
+        .generate(InputConfig::input(0), STREAM_LEN)
 }
 
-fn bench_frontend(c: &mut Criterion) {
+fn main() {
     let trace = workload();
+    let records = Some(trace.len() as u64);
 
-    let mut group = c.benchmark_group("frontend");
-    group.throughput(Throughput::Elements(trace.len() as u64));
-    group.sample_size(10);
-    group.bench_function("lru_sim", |b| {
-        b.iter(|| {
-            let mut fe = Frontend::new(FrontendConfig::table1(), Lru::new());
-            black_box(fe.run(&trace, None))
-        })
+    let mut harness = BenchHarness::new("frontend");
+    harness.bench("lru_sim", records, || {
+        let mut fe = Frontend::new(FrontendConfig::table1(), Lru::new());
+        black_box(fe.run(&trace, None))
     });
-    group.bench_function("full_pipeline_profile_plus_sim", |b| {
-        let pipeline = Pipeline::new(PipelineConfig::default());
-        b.iter(|| {
-            let hints = pipeline.profile_to_hints(&trace);
-            black_box(pipeline.run_thermometer(&trace, &hints))
-        })
+    let pipeline = Pipeline::new(PipelineConfig::default());
+    harness.bench("full_pipeline_profile_plus_sim", records, || {
+        let hints = pipeline.profile_to_hints(&trace);
+        black_box(pipeline.run_thermometer(&trace, &hints))
     });
-    group.finish();
+    harness.finish(RESULTS_DIR);
 }
-
-criterion_group!(benches, bench_frontend);
-criterion_main!(benches);

@@ -1,42 +1,45 @@
 //! Offline profiling cost: the paper's Fig. 14 argues the OPT simulation
 //! is cheap enough for production build pipelines. These benches measure
 //! the two offline stages: oracle construction and the OPT replay itself.
+//!
+//! Run with `cargo bench -p thermometer-bench --bench profiling`;
+//! results land in `results/bench_profiling.json` (median/MAD).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use btb_model::BtbConfig;
 use btb_trace::{NextUseOracle, Trace};
 use btb_workloads::{AppSpec, InputConfig};
+use sim_support::BenchHarness;
 use thermometer::{HintTable, OptProfile, TemperatureConfig};
 
 const STREAM_LEN: usize = 200_000;
+const RESULTS_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
 
 fn workload() -> Trace {
-    AppSpec::by_name("kafka").expect("built-in").generate(InputConfig::input(0), STREAM_LEN)
+    AppSpec::by_name("kafka")
+        .expect("built-in")
+        .generate(InputConfig::input(0), STREAM_LEN)
 }
 
-fn bench_profiling(c: &mut Criterion) {
+fn main() {
     let trace = workload();
-    let accesses = trace.taken().count() as u64;
+    let accesses = Some(trace.taken().count() as u64);
 
-    let mut group = c.benchmark_group("profiling");
-    group.throughput(Throughput::Elements(accesses));
-    group.sample_size(10);
-    group.bench_function("next_use_oracle", |b| b.iter(|| black_box(NextUseOracle::build(&trace))));
-    group.bench_function("opt_profile", |b| {
-        b.iter(|| black_box(OptProfile::measure(&trace, BtbConfig::table1())))
+    let mut harness = BenchHarness::new("profiling");
+    harness.bench("next_use_oracle", accesses, || {
+        black_box(NextUseOracle::build(&trace))
     });
-    group.finish();
+    harness.bench("opt_profile", accesses, || {
+        black_box(OptProfile::measure(&trace, BtbConfig::table1()))
+    });
 
     let profile = OptProfile::measure(&trace, BtbConfig::table1());
-    let mut group = c.benchmark_group("hint_generation");
-    group.throughput(Throughput::Elements(profile.unique_branches() as u64));
-    group.bench_function("hint_table", |b| {
-        b.iter(|| black_box(HintTable::from_profile(&profile, &TemperatureConfig::paper_default())))
+    harness.bench("hint_table", Some(profile.unique_branches() as u64), || {
+        black_box(HintTable::from_profile(
+            &profile,
+            &TemperatureConfig::paper_default(),
+        ))
     });
-    group.finish();
+    harness.finish(RESULTS_DIR);
 }
-
-criterion_group!(benches, bench_profiling);
-criterion_main!(benches);

@@ -1,45 +1,41 @@
 //! Workload generation and codec throughput: records per second out of the
 //! synthetic application executor, and through the binary trace codec.
+//!
+//! Run with `cargo bench -p thermometer-bench --bench tracegen`;
+//! results land in `results/bench_tracegen.json` (median/MAD).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
 use btb_trace::{read_binary, write_binary};
 use btb_workloads::{AppSpec, InputConfig};
+use sim_support::BenchHarness;
 
 const STREAM_LEN: usize = 200_000;
+const RESULTS_DIR: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../results");
 
-fn bench_tracegen(c: &mut Criterion) {
+fn main() {
     let spec = AppSpec::by_name("kafka").expect("built-in");
+    let records = Some(STREAM_LEN as u64);
 
-    let mut group = c.benchmark_group("tracegen");
-    group.throughput(Throughput::Elements(STREAM_LEN as u64));
-    group.sample_size(10);
-    group.bench_function("generate_kafka", |b| {
-        b.iter(|| black_box(spec.generate(InputConfig::input(0), STREAM_LEN)))
+    let mut harness = BenchHarness::new("tracegen");
+    harness.bench("generate_kafka", records, || {
+        black_box(spec.generate(InputConfig::input(0), STREAM_LEN))
     });
-    group.bench_function("build_program_kafka", |b| b.iter(|| black_box(spec.build_program())));
-    group.finish();
+    harness.bench("build_program_kafka", records, || {
+        black_box(spec.build_program())
+    });
 
     let trace = spec.generate(InputConfig::input(0), STREAM_LEN);
     let mut encoded = Vec::new();
     write_binary(&mut encoded, &trace).expect("encode");
 
-    let mut group = c.benchmark_group("codec");
-    group.throughput(Throughput::Elements(STREAM_LEN as u64));
-    group.sample_size(10);
-    group.bench_function("encode", |b| {
-        b.iter(|| {
-            let mut buf = Vec::with_capacity(encoded.len());
-            write_binary(&mut buf, &trace).expect("encode");
-            black_box(buf)
-        })
+    harness.bench("codec_encode", records, || {
+        let mut buf = Vec::with_capacity(encoded.len());
+        write_binary(&mut buf, &trace).expect("encode");
+        black_box(buf)
     });
-    group.bench_function("decode", |b| {
-        b.iter(|| black_box(read_binary(&mut encoded.as_slice()).expect("decode")))
+    harness.bench("codec_decode", records, || {
+        black_box(read_binary(&mut encoded.as_slice()).expect("decode"))
     });
-    group.finish();
+    harness.finish(RESULTS_DIR);
 }
-
-criterion_group!(benches, bench_tracegen);
-criterion_main!(benches);

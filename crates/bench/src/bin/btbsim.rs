@@ -11,26 +11,36 @@ use std::fs::File;
 use std::io::BufReader;
 use std::process::exit;
 
-use btb_model::policies::{BeladyOpt, Drrip, Fifo, Ghrp, GhrpConfig, Hawkeye, HawkeyeConfig, PseudoLru, Random, Ship};
+use btb_model::policies::{
+    BeladyOpt, Drrip, Fifo, Ghrp, GhrpConfig, Hawkeye, HawkeyeConfig, PseudoLru, Random, Ship,
+};
 use btb_model::BtbConfig;
 use btb_trace::{read_binary, Trace};
 use thermometer::pipeline::{Pipeline, PipelineConfig};
 use thermometer::TemperatureConfig;
 use uarch_sim::{FrontendConfig, SimReport};
 
-const POLICIES: &str = "lru, fifo, plru, random, srrip, drrip, ship, ghrp, hawkeye, opt, thermometer";
+const POLICIES: &str =
+    "lru, fifo, plru, random, srrip, drrip, ship, ghrp, hawkeye, opt, thermometer";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(path) = args.first() else { usage("missing trace file") };
+    let Some(path) = args.first() else {
+        usage("missing trace file")
+    };
     let policy = flag(&args, "--policy").unwrap_or_else(|| "lru".into());
-    let entries: usize =
-        flag(&args, "--entries").map_or(8192, |v| v.parse().unwrap_or_else(|_| usage("bad --entries")));
-    let ways: usize = flag(&args, "--ways").map_or(4, |v| v.parse().unwrap_or_else(|_| usage("bad --ways")));
+    let entries: usize = flag(&args, "--entries").map_or(8192, |v| {
+        v.parse().unwrap_or_else(|_| usage("bad --entries"))
+    });
+    let ways: usize =
+        flag(&args, "--ways").map_or(4, |v| v.parse().unwrap_or_else(|_| usage("bad --ways")));
 
     let trace = load(path);
     let pipeline = Pipeline::new(PipelineConfig {
-        frontend: FrontendConfig { btb: BtbConfig::new(entries, ways), ..FrontendConfig::table1() },
+        frontend: FrontendConfig {
+            btb: BtbConfig::new(entries, ways),
+            ..FrontendConfig::table1()
+        },
         temperature: TemperatureConfig::paper_default(),
     });
 
@@ -54,7 +64,11 @@ fn main() {
                 }
             };
             let hints = pipeline.profile_to_hints(&profile_trace);
-            eprintln!("profiled {} branches -> {} hinted", profile_trace.len(), hints.len());
+            eprintln!(
+                "profiled {} branches -> {} hinted",
+                profile_trace.len(),
+                hints.len()
+            );
             pipeline.run_thermometer(&trace, &hints)
         }
         other => usage(&format!("unknown policy {other} (choose from: {POLICIES})")),
@@ -64,7 +78,8 @@ fn main() {
 
 fn load(path: &str) -> Trace {
     let file = File::open(path).unwrap_or_else(|e| usage(&format!("cannot open {path}: {e}")));
-    read_binary(&mut BufReader::new(file)).unwrap_or_else(|e| usage(&format!("cannot decode {path}: {e}")))
+    read_binary(&mut BufReader::new(file))
+        .unwrap_or_else(|e| usage(&format!("cannot decode {path}: {e}")))
 }
 
 fn print_report(r: &SimReport) {
@@ -77,14 +92,21 @@ fn print_report(r: &SimReport) {
     println!("BTB hit rate        {:.2}%", r.btb.hit_rate() * 100.0);
     println!("BTB MPKI            {:.3}", r.btb_mpki());
     println!("BTB bypasses        {}", r.btb.bypasses);
-    println!("cond mispredict     {:.3}%", r.cond_mispredict_rate() * 100.0);
+    println!(
+        "cond mispredict     {:.3}%",
+        r.cond_mispredict_rate() * 100.0
+    );
     println!("L2 instr MPKI       {:.3}", r.l2_impki());
-    println!("stall cycles: btb={:.0} direction={:.0} target={:.0} icache={:.0}",
-        r.btb_stall_cycles, r.direction_stall_cycles, r.target_stall_cycles, r.icache_stall_cycles);
+    println!(
+        "stall cycles: btb={:.0} direction={:.0} target={:.0} icache={:.0}",
+        r.btb_stall_cycles, r.direction_stall_cycles, r.target_stall_cycles, r.icache_stall_cycles
+    );
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn usage(error: &str) -> ! {

@@ -22,7 +22,10 @@ fn main() {
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--markdown" => {
-                markdown_path = Some(iter.next().unwrap_or_else(|| usage("missing path after --markdown")));
+                markdown_path = Some(
+                    iter.next()
+                        .unwrap_or_else(|| usage("missing path after --markdown")),
+                );
             }
             "--help" | "-h" => usage(""),
             other => ids.push(other.to_owned()),

@@ -38,26 +38,40 @@ fn usage(error: &str) -> ! {
 }
 
 fn flag(args: &[String], name: &str) -> Option<String> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 fn list() {
-    println!("{:18} {:>10} {:>9} {:>9}", "workload", "functions", "handlers", "blocks");
+    println!(
+        "{:18} {:>10} {:>9} {:>9}",
+        "workload", "functions", "handlers", "blocks"
+    );
     for spec in AppSpec::all() {
         let stats = spec.build_program().stats();
-        println!("{:18} {:>10} {:>9} {:>9}", spec.name, spec.functions, spec.handlers, stats.blocks);
+        println!(
+            "{:18} {:>10} {:>9} {:>9}",
+            spec.name, spec.functions, spec.handlers, stats.blocks
+        );
     }
 }
 
 fn app(args: &[String]) {
-    let Some(name) = args.first() else { usage("app: missing workload name") };
+    let Some(name) = args.first() else {
+        usage("app: missing workload name")
+    };
     let Some(spec) = AppSpec::by_name(name) else {
         usage(&format!("unknown workload {name} (see `tracegen list`)"))
     };
-    let input: u32 = flag(args, "--input").map_or(0, |v| v.parse().unwrap_or_else(|_| usage("bad --input")));
-    let records: usize =
-        flag(args, "--records").map_or(2_000_000, |v| v.parse().unwrap_or_else(|_| usage("bad --records")));
-    let Some(out) = flag(args, "--out") else { usage("app: missing --out") };
+    let input: u32 =
+        flag(args, "--input").map_or(0, |v| v.parse().unwrap_or_else(|_| usage("bad --input")));
+    let records: usize = flag(args, "--records").map_or(2_000_000, |v| {
+        v.parse().unwrap_or_else(|_| usage("bad --records"))
+    });
+    let Some(out) = flag(args, "--out") else {
+        usage("app: missing --out")
+    };
 
     eprintln!("generating {name} input #{input}, {records} records ...");
     let trace = spec.generate(InputConfig::input(input), records);
@@ -68,12 +82,17 @@ fn app(args: &[String]) {
 }
 
 fn suite(args: &[String]) {
-    let Some(kind) = args.first().map(String::as_str) else { usage("suite: missing kind") };
+    let Some(kind) = args.first().map(String::as_str) else {
+        usage("suite: missing kind")
+    };
     let count: usize =
         flag(args, "--count").map_or(16, |v| v.parse().unwrap_or_else(|_| usage("bad --count")));
-    let records: usize =
-        flag(args, "--records").map_or(200_000, |v| v.parse().unwrap_or_else(|_| usage("bad --records")));
-    let Some(dir) = flag(args, "--dir") else { usage("suite: missing --dir") };
+    let records: usize = flag(args, "--records").map_or(200_000, |v| {
+        v.parse().unwrap_or_else(|_| usage("bad --records"))
+    });
+    let Some(dir) = flag(args, "--dir") else {
+        usage("suite: missing --dir")
+    };
     std::fs::create_dir_all(&dir).unwrap_or_else(|e| usage(&format!("cannot create {dir}: {e}")));
 
     let traces = match kind {
@@ -83,7 +102,8 @@ fn suite(args: &[String]) {
     };
     for trace in &traces {
         let path = format!("{dir}/{}.btbt", trace.name().replace('#', "_"));
-        let file = File::create(&path).unwrap_or_else(|e| usage(&format!("cannot create {path}: {e}")));
+        let file =
+            File::create(&path).unwrap_or_else(|e| usage(&format!("cannot create {path}: {e}")));
         let mut writer = BufWriter::new(file);
         write_binary(&mut writer, trace).unwrap_or_else(|e| usage(&format!("write failed: {e}")));
         eprintln!("wrote {path}");
@@ -91,7 +111,9 @@ fn suite(args: &[String]) {
 }
 
 fn info(args: &[String]) {
-    let Some(path) = args.first() else { usage("info: missing file") };
+    let Some(path) = args.first() else {
+        usage("info: missing file")
+    };
     let file = File::open(path).unwrap_or_else(|e| usage(&format!("cannot open {path}: {e}")));
     let trace = read_binary(&mut BufReader::new(file))
         .unwrap_or_else(|e| usage(&format!("cannot decode {path}: {e}")));

@@ -11,9 +11,9 @@ use uarch_sim::prefetch::{Confluence, ShotgunBtb};
 use uarch_sim::{Frontend, PerfectOptions};
 
 use super::test_trace;
+use crate::per_app;
 use crate::scale::Scale;
 use crate::text::{FigureResult, Row};
-use crate::per_app;
 
 /// Fig. 1: speedup of SRRIP / GHRP / Hawkeye / OPT over LRU.
 pub fn fig01(scale: &Scale) -> FigureResult {
@@ -33,7 +33,9 @@ pub fn fig01(scale: &Scale) -> FigureResult {
         id: "fig01".into(),
         title: "Prior replacement policies vs. the optimal policy, over LRU".into(),
         unit: "IPC speedup %".into(),
-        columns: ["SRRIP", "GHRP", "Hawkeye", "OPT"].map(String::from).to_vec(),
+        columns: ["SRRIP", "GHRP", "Hawkeye", "OPT"]
+            .map(String::from)
+            .to_vec(),
         rows,
         notes: vec![
             "Paper: SRRIP 1.5% / GHRP ~0 / Hawkeye ~0 average; OPT 10.4% average — a large gap \
@@ -56,9 +58,18 @@ pub fn fig02(scale: &Scale) -> FigureResult {
         Row::new(
             spec.name.clone(),
             vec![
-                perfect(PerfectOptions { btb: true, ..Default::default() }),
-                perfect(PerfectOptions { branch_predictor: true, ..Default::default() }),
-                perfect(PerfectOptions { icache: true, ..Default::default() }),
+                perfect(PerfectOptions {
+                    btb: true,
+                    ..Default::default()
+                }),
+                perfect(PerfectOptions {
+                    branch_predictor: true,
+                    ..Default::default()
+                }),
+                perfect(PerfectOptions {
+                    icache: true,
+                    ..Default::default()
+                }),
             ],
         )
     });
@@ -66,7 +77,9 @@ pub fn fig02(scale: &Scale) -> FigureResult {
         id: "fig02".into(),
         title: "Limit study of FDIP frontend structures".into(),
         unit: "IPC speedup %".into(),
-        columns: ["Perfect-BTB", "Perfect-BP", "Perfect-I-Cache"].map(String::from).to_vec(),
+        columns: ["Perfect-BTB", "Perfect-BP", "Perfect-I-Cache"]
+            .map(String::from)
+            .to_vec(),
         rows,
         notes: vec![
             "Paper: perfect BTB 63.2% >> perfect I-cache 21.5% >> perfect BP 11.3% on average; \
@@ -112,11 +125,21 @@ pub fn fig04(scale: &Scale) -> FigureResult {
         let lru = pipeline.run_lru(&trace);
 
         let confluence_lru = pipeline
-            .run_custom(&trace, btb_model::policies::Lru::new(), None, false, Some(Box::new(Confluence::new())))
+            .run_custom(
+                &trace,
+                btb_model::policies::Lru::new(),
+                None,
+                false,
+                Some(Box::new(Confluence::new())),
+            )
             .speedup_over(&lru);
 
         let shotgun_lru = {
-            let shotgun = ShotgunBtb::new(config.btb, btb_model::policies::Lru::new(), btb_model::policies::Lru::new());
+            let shotgun = ShotgunBtb::new(
+                config.btb,
+                btb_model::policies::Lru::new(),
+                btb_model::policies::Lru::new(),
+            );
             let mut fe = Frontend::with_btb(config, shotgun);
             fe.run(&trace, None).speedup_over(&lru)
         };
@@ -124,7 +147,13 @@ pub fn fig04(scale: &Scale) -> FigureResult {
         let opt = pipeline.run_opt(&trace).speedup_over(&lru);
 
         let confluence_opt = pipeline
-            .run_custom(&trace, BeladyOpt::new(), None, true, Some(Box::new(Confluence::new())))
+            .run_custom(
+                &trace,
+                BeladyOpt::new(),
+                None,
+                true,
+                Some(Box::new(Confluence::new())),
+            )
             .speedup_over(&lru);
 
         let shotgun_opt = {
@@ -135,18 +164,41 @@ pub fn fig04(scale: &Scale) -> FigureResult {
         };
 
         let perfect = pipeline
-            .run_perfect(&trace, PerfectOptions { btb: true, ..Default::default() })
+            .run_perfect(
+                &trace,
+                PerfectOptions {
+                    btb: true,
+                    ..Default::default()
+                },
+            )
             .speedup_over(&lru);
 
-        Row::new(spec.name.clone(), vec![confluence_lru, shotgun_lru, opt, confluence_opt, shotgun_opt, perfect])
+        Row::new(
+            spec.name.clone(),
+            vec![
+                confluence_lru,
+                shotgun_lru,
+                opt,
+                confluence_opt,
+                shotgun_opt,
+                perfect,
+            ],
+        )
     });
     let mut fig = FigureResult {
         id: "fig04".into(),
         title: "BTB prefetching vs. optimal replacement vs. perfect BTB, over LRU".into(),
         unit: "IPC speedup %".into(),
-        columns: ["Confluence-LRU", "Shotgun-LRU", "OPT", "Confluence-OPT", "Shotgun-OPT", "Perfect-BTB"]
-            .map(String::from)
-            .to_vec(),
+        columns: [
+            "Confluence-LRU",
+            "Shotgun-LRU",
+            "OPT",
+            "Confluence-OPT",
+            "Shotgun-OPT",
+            "Perfect-BTB",
+        ]
+        .map(String::from)
+        .to_vec(),
         rows,
         notes: vec![
             "Paper: Confluence 1.4% mean, Shotgun a slight slowdown (static partition + metadata \
@@ -188,8 +240,12 @@ const CURVE_APPS: [&str; 3] = ["drupal", "kafka", "verilator"];
 const CURVE_POINTS: [f64; 10] = [0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 1.0];
 
 fn curve_apps(scale: &Scale) -> Vec<btb_workloads::AppSpec> {
-    let chosen: Vec<btb_workloads::AppSpec> =
-        scale.apps.iter().filter(|s| CURVE_APPS.contains(&s.name.as_str())).cloned().collect();
+    let chosen: Vec<btb_workloads::AppSpec> = scale
+        .apps
+        .iter()
+        .filter(|s| CURVE_APPS.contains(&s.name.as_str()))
+        .cloned()
+        .collect();
     if chosen.is_empty() {
         scale.apps.iter().take(3).cloned().collect()
     } else {
@@ -216,7 +272,10 @@ pub fn fig06(scale: &Scale) -> FigureResult {
     let curves = per_app(&apps, |spec| {
         let trace = test_trace(spec, scale);
         let profile = OptProfile::measure(&trace, BtbConfig::table1());
-        (spec.name.clone(), sample_curve(&analysis::heat_curve(&profile)))
+        (
+            spec.name.clone(),
+            sample_curve(&analysis::heat_curve(&profile)),
+        )
     });
     let rows = CURVE_POINTS
         .iter()
@@ -249,7 +308,10 @@ pub fn fig07(scale: &Scale) -> FigureResult {
     let curves = per_app(&apps, |spec| {
         let trace = test_trace(spec, scale);
         let profile = OptProfile::measure(&trace, BtbConfig::table1());
-        (spec.name.clone(), sample_curve(&analysis::dynamic_cdf(&profile)))
+        (
+            spec.name.clone(),
+            sample_curve(&analysis::dynamic_cdf(&profile)),
+        )
     });
     let rows = CURVE_POINTS
         .iter()
@@ -281,14 +343,26 @@ pub fn fig08(scale: &Scale) -> FigureResult {
         let c = analysis::correlations(&trace, &profile, &geometry);
         Row::new(
             spec.name.clone(),
-            vec![c.kind_vs_temperature, c.distance_vs_temperature, c.bias_vs_temperature, c.reuse_vs_temperature],
+            vec![
+                c.kind_vs_temperature,
+                c.distance_vs_temperature,
+                c.bias_vs_temperature,
+                c.reuse_vs_temperature,
+            ],
         )
     });
     let mut fig = FigureResult {
         id: "fig08".into(),
         title: "Correlation of branch properties with branch temperature".into(),
         unit: "|Pearson r|".into(),
-        columns: ["Branch type", "Target distance", "Bias", "Avg reuse distance"].map(String::from).to_vec(),
+        columns: [
+            "Branch type",
+            "Target distance",
+            "Bias",
+            "Avg reuse distance",
+        ]
+        .map(String::from)
+        .to_vec(),
         rows,
         notes: vec![
             "Paper: only the holistic reuse distance correlates strongly with temperature — so \
@@ -309,7 +383,10 @@ pub fn fig09(scale: &Scale) -> FigureResult {
         let trace = test_trace(spec, scale);
         let profile = OptProfile::measure(&trace, BtbConfig::table1());
         let by_temp = analysis::bypass_by_temperature(&profile, &temp);
-        Row::new(spec.name.clone(), by_temp.iter().map(|v| v * 100.0).collect())
+        Row::new(
+            spec.name.clone(),
+            by_temp.iter().map(|v| v * 100.0).collect(),
+        )
     });
     let mut fig = FigureResult {
         id: "fig09".into(),

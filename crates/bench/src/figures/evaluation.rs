@@ -43,7 +43,16 @@ pub fn fig11(scale: &Scale) -> FigureResult {
         id: "fig11".into(),
         title: "Thermometer vs. prior replacement policies and OPT, over LRU".into(),
         unit: "IPC speedup %".into(),
-        columns: ["SRRIP", "GHRP", "Hawkeye", "Thermometer", "Therm-7979", "OPT"].map(String::from).to_vec(),
+        columns: [
+            "SRRIP",
+            "GHRP",
+            "Hawkeye",
+            "Thermometer",
+            "Therm-7979",
+            "OPT",
+        ]
+        .map(String::from)
+        .to_vec(),
         rows,
         notes: vec![
             "Paper: Thermometer 8.7% average (83.6% of OPT's 10.4%), 5.6x the best prior work \
@@ -71,7 +80,9 @@ pub fn fig12(scale: &Scale) -> FigureResult {
                 pipeline.run_srrip(&test).miss_reduction_over(&lru),
                 pipeline.run_ghrp(&test).miss_reduction_over(&lru),
                 pipeline.run_hawkeye(&test).miss_reduction_over(&lru),
-                pipeline.run_thermometer(&test, &hints).miss_reduction_over(&lru),
+                pipeline
+                    .run_thermometer(&test, &hints)
+                    .miss_reduction_over(&lru),
                 pipeline.run_opt(&test).miss_reduction_over(&lru),
             ],
         )
@@ -80,7 +91,9 @@ pub fn fig12(scale: &Scale) -> FigureResult {
         id: "fig12".into(),
         title: "BTB miss reduction over LRU".into(),
         unit: "miss reduction %".into(),
-        columns: ["SRRIP", "GHRP", "Hawkeye", "Thermometer", "OPT"].map(String::from).to_vec(),
+        columns: ["SRRIP", "GHRP", "Hawkeye", "Thermometer", "OPT"]
+            .map(String::from)
+            .to_vec(),
         rows,
         notes: vec![
             "Paper: Thermometer removes 21.3% of all BTB misses (62.6% of OPT's 34%); prior \
@@ -117,8 +130,12 @@ pub fn fig13(scale: &Scale) -> FigureResult {
                 format!("{} #{input}", spec.name),
                 vec![
                     pct(pipeline.run_srrip(&test).speedup_over(&lru)),
-                    pct(pipeline.run_thermometer(&test, &train_hints).speedup_over(&lru)),
-                    pct(pipeline.run_thermometer(&test, &same_hints).speedup_over(&lru)),
+                    pct(pipeline
+                        .run_thermometer(&test, &train_hints)
+                        .speedup_over(&lru)),
+                    pct(pipeline
+                        .run_thermometer(&test, &same_hints)
+                        .speedup_over(&lru)),
                 ],
             ));
         }
@@ -128,7 +145,13 @@ pub fn fig13(scale: &Scale) -> FigureResult {
         id: "fig13".into(),
         title: "Speedup across application inputs as % of the optimal policy's speedup".into(),
         unit: "% of OPT speedup".into(),
-        columns: ["SRRIP", "Therm-training-profile", "Therm-same-input-profile"].map(String::from).to_vec(),
+        columns: [
+            "SRRIP",
+            "Therm-training-profile",
+            "Therm-same-input-profile",
+        ]
+        .map(String::from)
+        .to_vec(),
         rows: per_app_rows.into_iter().flatten().collect(),
         notes: vec![
             "Paper: the training-input profile retains most of the same-input benefit because \
@@ -141,24 +164,39 @@ pub fn fig13(scale: &Scale) -> FigureResult {
     fig
 }
 
-/// Fig. 14: offline OPT-simulation wall-clock time.
+/// Fig. 14: offline OPT-simulation cost.
+///
+/// The paper reports wall-clock seconds; wall-clock is not reproducible, and
+/// this report must regenerate byte-identically (EXPERIMENTS.md), so the
+/// figure reports the deterministic work metric — taken-branch accesses the
+/// OPT replay processes — plus the unique-branch count that sizes the
+/// resulting profile. Measured wall-clock per access lives in the bench
+/// harness (`cargo bench --bench profiling` → `results/bench_profiling.json`).
 pub fn fig14(scale: &Scale) -> FigureResult {
     let pipeline = Pipeline::new(PipelineConfig::default());
     let rows = per_app(&scale.apps, |spec| {
         let train = train_trace(spec, scale);
         let profile = pipeline.profile(&train);
-        Row::new(spec.name.clone(), vec![profile.simulation_time.as_secs_f64()])
+        let accesses: u64 = profile.branches.values().map(|c| c.taken).sum();
+        Row::new(
+            spec.name.clone(),
+            vec![
+                accesses as f64 / 1e6,
+                profile.unique_branches() as f64 / 1e3,
+            ],
+        )
     });
     let mut fig = FigureResult {
         id: "fig14".into(),
-        title: "Offline optimal-replacement simulation time".into(),
-        unit: "seconds".into(),
-        columns: vec!["Offline simulation".into()],
+        title: "Offline optimal-replacement simulation cost".into(),
+        unit: "work per profiling run".into(),
+        columns: vec!["OPT accesses (M)".into(), "Unique branches (K)".into()],
         rows,
         notes: vec![
             "Paper: 4.18-167 s per application (23.53 s average) on their traces — comparable to \
-             production post-link-optimizer runtimes. Ours is faster in absolute terms because \
-             the synthetic traces are shorter; the per-access cost is what matters."
+             production post-link-optimizer runtimes. The deterministic work metric is reported \
+             here; multiply by the measured per-access cost from \
+             results/bench_profiling.json (opt_profile median / elements) for wall-clock time."
                 .into(),
         ],
         ..Default::default()
@@ -209,14 +247,20 @@ pub fn fig16(scale: &Scale) -> FigureResult {
         let therm = measure_accuracy(&test, config, ThermometerPolicy::new(), Some(&hints));
         Row::new(
             spec.name.clone(),
-            vec![transient.accuracy() * 100.0, holistic.accuracy() * 100.0, therm.accuracy() * 100.0],
+            vec![
+                transient.accuracy() * 100.0,
+                holistic.accuracy() * 100.0,
+                therm.accuracy() * 100.0,
+            ],
         )
     });
     let mut fig = FigureResult {
         id: "fig16".into(),
         title: "Replacement accuracy: victims whose actual reuse distance >= associativity".into(),
         unit: "accuracy %".into(),
-        columns: ["Transient", "Holistic", "Thermometer"].map(String::from).to_vec(),
+        columns: ["Transient", "Holistic", "Thermometer"]
+            .map(String::from)
+            .to_vec(),
         rows,
         notes: vec![
             "Paper: transient-only 46.06%, holistic-only 63.72%, Thermometer 68.20% — combining \

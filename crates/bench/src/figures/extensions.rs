@@ -28,7 +28,9 @@ pub fn extra_policies(scale: &Scale) -> FigureResult {
             spec.name.clone(),
             vec![
                 pipeline.run_policy(&test, Fifo::new()).speedup_over(&lru),
-                pipeline.run_policy(&test, PseudoLru::new()).speedup_over(&lru),
+                pipeline
+                    .run_policy(&test, PseudoLru::new())
+                    .speedup_over(&lru),
                 pipeline.run_srrip(&test).speedup_over(&lru),
                 pipeline.run_policy(&test, Drrip::new()).speedup_over(&lru),
                 pipeline.run_policy(&test, Ship::new()).speedup_over(&lru),
@@ -42,9 +44,11 @@ pub fn extra_policies(scale: &Scale) -> FigureResult {
         id: "extra-policies".into(),
         title: "Extension: the full replacement-policy zoo over LRU".into(),
         unit: "IPC speedup %".into(),
-        columns: ["FIFO", "PLRU", "SRRIP", "DRRIP", "SHiP", "GHRP", "Hawkeye", "OPT"]
-            .map(String::from)
-            .to_vec(),
+        columns: [
+            "FIFO", "PLRU", "SRRIP", "DRRIP", "SHiP", "GHRP", "Hawkeye", "OPT",
+        ]
+        .map(String::from)
+        .to_vec(),
         rows,
         notes: vec![
             "Not a paper figure: adds the related-work policies the paper cites (FIFO, \
@@ -65,7 +69,10 @@ fn cv_hints(pipeline: &Pipeline, train: &Trace) -> HintTable {
     let p1 = OptProfile::measure(&first, BtbConfig::table1());
     let p2 = OptProfile::measure(&second, BtbConfig::table1());
     let (y1, y2) = two_fold_thresholds(&p1, &p2, &default_candidates());
-    HintTable::from_profile(&pipeline.profile(train), &TemperatureConfig::new(vec![y1, y2]))
+    HintTable::from_profile(
+        &pipeline.profile(train),
+        &TemperatureConfig::new(vec![y1, y2]),
+    )
 }
 
 /// Extension: Thermometer component ablations.
@@ -83,14 +90,18 @@ pub fn ablation(scale: &Scale) -> FigureResult {
         let holistic = pipeline
             .run_custom(&test, HolisticOnly::new(), Some(&hints), false, None)
             .speedup_over(&lru);
-        let cv = pipeline.run_thermometer(&test, &cv_hints(&pipeline, &train)).speedup_over(&lru);
+        let cv = pipeline
+            .run_thermometer(&test, &cv_hints(&pipeline, &train))
+            .speedup_over(&lru);
         Row::new(spec.name.clone(), vec![full, no_bypass, holistic, cv])
     });
     let mut fig = FigureResult {
         id: "ablation".into(),
         title: "Extension: Thermometer component ablations, over LRU".into(),
         unit: "IPC speedup %".into(),
-        columns: ["Thermometer", "No bypass", "Holistic-only", "CV thresholds"].map(String::from).to_vec(),
+        columns: ["Thermometer", "No bypass", "Holistic-only", "CV thresholds"]
+            .map(String::from)
+            .to_vec(),
         rows,
         notes: vec![
             "Not a paper figure: isolates the bypass rule (§2.5), the LRU tie-break (§3.4) and \

@@ -20,9 +20,28 @@ use btb_workloads::{AppSpec, InputConfig};
 
 /// All figure ids in paper order, plus the extension experiments.
 pub const FIGURE_IDS: [&str; 22] = [
-    "fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09", "fig11",
-    "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
-    "extra-policies", "ablation",
+    "fig01",
+    "fig02",
+    "fig03",
+    "fig04",
+    "fig05",
+    "fig06",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "fig20",
+    "fig21",
+    "extra-policies",
+    "ablation",
 ];
 
 /// Runs one figure by id (`"fig19"`/`"fig20"` produce both sub-tables).

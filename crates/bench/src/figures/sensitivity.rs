@@ -17,8 +17,12 @@ use crate::text::{FigureResult, Row};
 const SWEEP_APPS: [&str; 3] = ["cassandra", "drupal", "tomcat"];
 
 fn sweep_apps(scale: &Scale) -> Vec<AppSpec> {
-    let chosen: Vec<AppSpec> =
-        scale.apps.iter().filter(|s| SWEEP_APPS.contains(&s.name.as_str())).cloned().collect();
+    let chosen: Vec<AppSpec> = scale
+        .apps
+        .iter()
+        .filter(|s| SWEEP_APPS.contains(&s.name.as_str()))
+        .cloned()
+        .collect();
     if chosen.is_empty() {
         scale.apps.iter().take(3).cloned().collect()
     } else {
@@ -32,7 +36,13 @@ fn pct_of_opt(pipeline: &Pipeline, train: &Trace, test: &Trace) -> (f64, f64) {
     let hints = pipeline.profile_to_hints(train);
     let lru = pipeline.run_lru(test);
     let opt = pipeline.run_opt(test).speedup_over(&lru);
-    let pct = |speedup: f64| if opt.abs() < 1e-9 { 0.0 } else { speedup / opt * 100.0 };
+    let pct = |speedup: f64| {
+        if opt.abs() < 1e-9 {
+            0.0
+        } else {
+            speedup / opt * 100.0
+        }
+    };
     (
         pct(pipeline.run_thermometer(test, &hints).speedup_over(&lru)),
         pct(pipeline.run_srrip(test).speedup_over(&lru)),
@@ -236,10 +246,20 @@ pub fn fig21(scale: &Scale) -> FigureResult {
         let config = pipeline.config().frontend.btb;
         let twig = || Box::new(TwigPrefetcher::train(&train, config, 16));
 
-        let lru_twig =
-            pipeline.run_custom(&test, btb_model::policies::Lru::new(), None, false, Some(twig()));
-        let srrip_twig =
-            pipeline.run_custom(&test, btb_model::policies::Srrip::new(), None, false, Some(twig()));
+        let lru_twig = pipeline.run_custom(
+            &test,
+            btb_model::policies::Lru::new(),
+            None,
+            false,
+            Some(twig()),
+        );
+        let srrip_twig = pipeline.run_custom(
+            &test,
+            btb_model::policies::Srrip::new(),
+            None,
+            false,
+            Some(twig()),
+        );
         let therm_twig = pipeline.run_custom(
             &test,
             thermometer::ThermometerPolicy::new(),
@@ -247,8 +267,13 @@ pub fn fig21(scale: &Scale) -> FigureResult {
             false,
             Some(twig()),
         );
-        let opt_twig =
-            pipeline.run_custom(&test, btb_model::policies::BeladyOpt::new(), None, true, Some(twig()));
+        let opt_twig = pipeline.run_custom(
+            &test,
+            btb_model::policies::BeladyOpt::new(),
+            None,
+            true,
+            Some(twig()),
+        );
 
         Row::new(
             spec.name.clone(),
@@ -263,7 +288,9 @@ pub fn fig21(scale: &Scale) -> FigureResult {
         id: "fig21".into(),
         title: "Replacement policies under Twig BTB prefetching, over LRU+Twig".into(),
         unit: "IPC speedup %".into(),
-        columns: ["SRRIP+Twig", "Thermometer+Twig", "OPT+Twig"].map(String::from).to_vec(),
+        columns: ["SRRIP+Twig", "Thermometer+Twig", "OPT+Twig"]
+            .map(String::from)
+            .to_vec(),
         rows,
         notes: vec![
             "Paper: Thermometer+Twig gains 30.9% over LRU+Twig (95.9% of OPT+Twig's 32.2%); \

@@ -2,18 +2,25 @@
 
 use btb_model::BtbConfig;
 use btb_trace::Trace;
+use btb_workloads::{cbp5_suite, ipc1_suite, SuiteParams};
 use thermometer::pipeline::{Pipeline, PipelineConfig};
 use thermometer::temperature::{default_candidates, two_fold_thresholds};
 use thermometer::{HintTable, OptProfile, TemperatureConfig};
-use btb_workloads::{cbp5_suite, ipc1_suite, SuiteParams};
 
 use crate::per_app_traces;
 use crate::scale::Scale;
 use crate::text::{FigureResult, Row};
 
 /// Percentiles reported for the per-trace distributions.
-const PERCENTILES: [(f64, &str); 7] =
-    [(0.0, "min"), (0.10, "p10"), (0.25, "p25"), (0.50, "p50"), (0.75, "p75"), (0.90, "p90"), (1.0, "max")];
+const PERCENTILES: [(f64, &str); 7] = [
+    (0.0, "min"),
+    (0.10, "p10"),
+    (0.25, "p25"),
+    (0.50, "p50"),
+    (0.75, "p75"),
+    (0.90, "p90"),
+    (1.0, "max"),
+];
 
 fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
@@ -64,21 +71,32 @@ pub fn fig17(scale: &Scale) -> FigureResult {
     let wins = per_trace.iter().filter(|t| t.0 > 0.01).count();
     let losses = per_trace.iter().filter(|t| t.0 < -0.01).count();
     let cv_losses = per_trace.iter().filter(|t| t.1 < -0.01).count();
-    let pressured: Vec<f64> =
-        per_trace.iter().filter(|t| t.2 >= 1.0).map(|t| t.0).collect();
-    let pressured_mean =
-        if pressured.is_empty() { 0.0 } else { pressured.iter().sum::<f64>() / pressured.len() as f64 };
+    let pressured: Vec<f64> = per_trace
+        .iter()
+        .filter(|t| t.2 >= 1.0)
+        .map(|t| t.0)
+        .collect();
+    let pressured_mean = if pressured.is_empty() {
+        0.0
+    } else {
+        pressured.iter().sum::<f64>() / pressured.len() as f64
+    };
 
     FigureResult {
         id: "fig17".into(),
         title: "BTB miss reduction of Thermometer over GHRP across the CBP-5-style suite".into(),
         unit: "miss reduction % (per-trace distribution)".into(),
-        columns: ["original (50/80)", "two-fold CV"].map(String::from).to_vec(),
+        columns: ["original (50/80)", "two-fold CV"]
+            .map(String::from)
+            .to_vec(),
         rows,
         summary: vec![
             ("Mean reduction, original".into(), mean(&fixed)),
             ("Mean reduction, two-fold CV".into(), mean(&cv)),
-            ("Mean reduction, traces with BTB MPKI >= 1".into(), pressured_mean),
+            (
+                "Mean reduction, traces with BTB MPKI >= 1".into(),
+                pressured_mean,
+            ),
             ("Traces Thermometer wins".into(), wins as f64),
             ("Traces GHRP wins".into(), losses as f64),
             ("Traces GHRP wins after CV".into(), cv_losses as f64),
@@ -128,11 +146,13 @@ pub fn fig18(scale: &Scale) -> FigureResult {
             .collect();
         rows.push(Row::new(name, values));
     }
-    let means: Vec<f64> =
-        (0..columns.len()).map(|c| per_trace.iter().map(|(s, _)| s[c]).sum::<f64>() / n).collect();
+    let means: Vec<f64> = (0..columns.len())
+        .map(|c| per_trace.iter().map(|(s, _)| s[c]).sum::<f64>() / n)
+        .collect();
     rows.push(Row::new("mean", means.clone()));
 
-    let pressured: Vec<&(Vec<f64>, f64)> = per_trace.iter().filter(|(_, mpki)| *mpki >= 1.0).collect();
+    let pressured: Vec<&(Vec<f64>, f64)> =
+        per_trace.iter().filter(|(_, mpki)| *mpki >= 1.0).collect();
     let therm_pressured = if pressured.is_empty() {
         0.0
     } else {

@@ -30,7 +30,10 @@ pub struct Scale {
 }
 
 fn env_usize(key: &str, default: usize) -> usize {
-    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 impl Scale {
@@ -39,11 +42,17 @@ impl Scale {
         let apps = match std::env::var("THERMO_APPS") {
             Ok(filter) => {
                 let wanted: Vec<&str> = filter.split(',').map(str::trim).collect();
-                AppSpec::all().into_iter().filter(|s| wanted.contains(&s.name.as_str())).collect()
+                AppSpec::all()
+                    .into_iter()
+                    .filter(|s| wanted.contains(&s.name.as_str()))
+                    .collect()
             }
             Err(_) => AppSpec::all(),
         };
-        assert!(!apps.is_empty(), "THERMO_APPS filtered out every application");
+        assert!(
+            !apps.is_empty(),
+            "THERMO_APPS filtered out every application"
+        );
         Self {
             trace_len: env_usize("THERMO_TRACE_LEN", 2_000_000),
             cbp_count: env_usize("THERMO_CBP_COUNT", 96),

@@ -14,7 +14,10 @@ pub struct Row {
 impl Row {
     /// Creates a row.
     pub fn new(label: impl Into<String>, values: Vec<f64>) -> Self {
-        Self { label: label.into(), values }
+        Self {
+            label: label.into(),
+            values,
+        }
     }
 }
 
@@ -64,7 +67,11 @@ impl FigureResult {
         let mut out = String::new();
         out.push_str(&format!("### {} — {}\n\n", self.id, self.title));
         out.push_str(&format!("*Unit: {}*\n\n", self.unit));
-        out.push_str(&format!("| {} | {} |\n", "workload", self.columns.join(" | ")));
+        out.push_str(&format!(
+            "| {} | {} |\n",
+            "workload",
+            self.columns.join(" | ")
+        ));
         out.push_str(&format!("|---|{}\n", "---|".repeat(self.columns.len())));
         for row in &self.rows {
             let cells: Vec<String> = row.values.iter().map(|v| format_value(*v)).collect();
@@ -104,7 +111,13 @@ impl fmt::Display for FigureResult {
             .chain(std::iter::once("workload".len()))
             .max()
             .unwrap_or(8);
-        let col_width = self.columns.iter().map(|c| c.len()).max().unwrap_or(8).max(8);
+        let col_width = self
+            .columns
+            .iter()
+            .map(|c| c.len())
+            .max()
+            .unwrap_or(8)
+            .max(8);
         write!(f, "{:label_width$}", "workload")?;
         for c in &self.columns {
             write!(f, "  {c:>col_width$}")?;
@@ -137,7 +150,10 @@ mod tests {
             title: "Sample".into(),
             unit: "speedup %".into(),
             columns: vec!["A".into(), "B".into()],
-            rows: vec![Row::new("one", vec![1.0, 2.0]), Row::new("two", vec![3.0, 4.0])],
+            rows: vec![
+                Row::new("one", vec![1.0, 2.0]),
+                Row::new("two", vec![3.0, 4.0]),
+            ],
             ..Default::default()
         };
         fig.push_average_row();
@@ -165,7 +181,12 @@ mod tests {
     fn display_renders_every_row() {
         let text = sample().to_string();
         assert!(text.contains("figX"));
-        assert_eq!(text.lines().filter(|l| l.starts_with("one") || l.starts_with("two")).count(), 2);
+        assert_eq!(
+            text.lines()
+                .filter(|l| l.starts_with("one") || l.starts_with("two"))
+                .count(),
+            2
+        );
     }
 
     #[test]

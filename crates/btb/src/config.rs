@@ -21,7 +21,10 @@ impl BtbConfig {
     /// Panics if `ways == 0` or `entries < ways`.
     pub fn new(entries: usize, ways: usize) -> Self {
         assert!(ways > 0, "associativity must be at least 1");
-        assert!(entries >= ways, "need at least one full set ({entries} entries, {ways} ways)");
+        assert!(
+            entries >= ways,
+            "need at least one full set ({entries} entries, {ways} ways)"
+        );
         Self { entries, ways }
     }
 
@@ -50,7 +53,11 @@ impl BtbConfig {
     pub fn geometry(&self) -> Geometry {
         let full_sets = self.entries / self.ways;
         let remainder = self.entries % self.ways;
-        Geometry { full_sets, ways: self.ways, remainder }
+        Geometry {
+            full_sets,
+            ways: self.ways,
+            remainder,
+        }
     }
 }
 

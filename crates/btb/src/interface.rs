@@ -79,7 +79,11 @@ mod tests {
     #[test]
     fn trait_object_drives_btb() {
         let mut btb: Box<dyn BtbInterface> = Box::new(Btb::new(BtbConfig::new(8, 2), Lru::new()));
-        let ctx = AccessContext { pc: 0x40, target: 0x80, ..Default::default() };
+        let ctx = AccessContext {
+            pc: 0x40,
+            target: 0x80,
+            ..Default::default()
+        };
         assert!(btb.access(&ctx).is_miss());
         assert!(btb.access(&ctx).is_hit());
         assert_eq!(btb.stats().hits, 1);

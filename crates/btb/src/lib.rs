@@ -101,7 +101,9 @@ struct Set {
 
 impl std::fmt::Debug for Set {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Set").field("occupied", &self.ways.iter().flatten().count()).finish()
+        f.debug_struct("Set")
+            .field("occupied", &self.ways.iter().flatten().count())
+            .finish()
     }
 }
 
@@ -121,9 +123,17 @@ impl<P: ReplacementPolicy> Btb<P> {
         let geometry = config.geometry();
         policy.reset(&geometry);
         let sets = (0..geometry.sets())
-            .map(|s| Set { ways: vec![None; geometry.ways_of(s)] })
+            .map(|s| Set {
+                ways: vec![None; geometry.ways_of(s)],
+            })
             .collect();
-        Self { geometry, sets, policy, stats: BtbStats::default(), access_index: 0 }
+        Self {
+            geometry,
+            sets,
+            policy,
+            stats: BtbStats::default(),
+            access_index: 0,
+        }
     }
 
     /// The BTB geometry.
@@ -155,8 +165,21 @@ impl<P: ReplacementPolicy> Btb<P> {
     /// `next_use` is the oracle position of the next access to this PC
     /// ([`btb_trace::next_use::NEVER`] when unknown); online policies ignore
     /// it, Belady's OPT requires it.
-    pub fn access_taken(&mut self, pc: u64, target: u64, kind: BranchKind, next_use: u64) -> AccessOutcome {
-        self.access(&AccessContext { pc, target, kind, hint: 0, next_use, access_index: self.access_index })
+    pub fn access_taken(
+        &mut self,
+        pc: u64,
+        target: u64,
+        kind: BranchKind,
+        next_use: u64,
+    ) -> AccessOutcome {
+        self.access(&AccessContext {
+            pc,
+            target,
+            kind,
+            hint: 0,
+            next_use,
+            access_index: self.access_index,
+        })
     }
 
     /// Performs one BTB access with a fully populated context (including a
@@ -170,7 +193,11 @@ impl<P: ReplacementPolicy> Btb<P> {
 
         let set = self.geometry.set_of(ctx.pc);
         // Hit path.
-        if let Some(way) = self.sets[set].ways.iter().position(|e| e.map(|e| e.pc) == Some(ctx.pc)) {
+        if let Some(way) = self.sets[set]
+            .ways
+            .iter()
+            .position(|e| e.map(|e| e.pc) == Some(ctx.pc))
+        {
             let entry = self.sets[set].ways[way].as_mut().expect("hit way occupied");
             let target_matched = entry.target == ctx.target;
             entry.target = ctx.target;
@@ -184,7 +211,12 @@ impl<P: ReplacementPolicy> Btb<P> {
         }
 
         self.stats.misses += 1;
-        let incoming = BtbEntry { pc: ctx.pc, target: ctx.target, kind: ctx.kind, hint: ctx.hint };
+        let incoming = BtbEntry {
+            pc: ctx.pc,
+            target: ctx.target,
+            kind: ctx.kind,
+            hint: ctx.hint,
+        };
 
         // Free-way fill path.
         if let Some(way) = self.sets[set].ways.iter().position(Option::is_none) {
@@ -195,14 +227,22 @@ impl<P: ReplacementPolicy> Btb<P> {
         }
 
         // Replacement path.
-        let resident: Vec<BtbEntry> = self.sets[set].ways.iter().map(|e| e.expect("set full")).collect();
+        let resident: Vec<BtbEntry> = self.sets[set]
+            .ways
+            .iter()
+            .map(|e| e.expect("set full"))
+            .collect();
         match self.policy.choose_victim(set, &resident, &ctx) {
             Victim::Bypass => {
                 self.stats.bypasses += 1;
                 AccessOutcome::MissBypassed
             }
             Victim::Evict(way) => {
-                assert!(way < resident.len(), "policy chose way {way} of {}", resident.len());
+                assert!(
+                    way < resident.len(),
+                    "policy chose way {way} of {}",
+                    resident.len()
+                );
                 let evicted = resident[way];
                 self.sets[set].ways[way] = Some(incoming);
                 self.stats.evictions += 1;
@@ -222,7 +262,13 @@ impl<P: ReplacementPolicy> Btb<P> {
     /// [`Btb::prefetch_fill`] carrying the branch instruction's temperature
     /// hint, so hint-aware policies treat the speculative entry like a
     /// demand fill of the same branch.
-    pub fn prefetch_fill_hinted(&mut self, pc: u64, target: u64, kind: BranchKind, hint: u8) -> bool {
+    pub fn prefetch_fill_hinted(
+        &mut self,
+        pc: u64,
+        target: u64,
+        kind: BranchKind,
+        hint: u8,
+    ) -> bool {
         let ctx = AccessContext {
             pc,
             target,
@@ -232,17 +278,30 @@ impl<P: ReplacementPolicy> Btb<P> {
             access_index: self.access_index,
         };
         let set = self.geometry.set_of(pc);
-        if self.sets[set].ways.iter().any(|e| e.map(|e| e.pc) == Some(pc)) {
+        if self.sets[set]
+            .ways
+            .iter()
+            .any(|e| e.map(|e| e.pc) == Some(pc))
+        {
             return true; // already resident
         }
         self.stats.prefetch_fills += 1;
-        let incoming = BtbEntry { pc, target, kind, hint };
+        let incoming = BtbEntry {
+            pc,
+            target,
+            kind,
+            hint,
+        };
         if let Some(way) = self.sets[set].ways.iter().position(Option::is_none) {
             self.sets[set].ways[way] = Some(incoming);
             self.policy.on_fill(set, way, &ctx);
             return true;
         }
-        let resident: Vec<BtbEntry> = self.sets[set].ways.iter().map(|e| e.expect("set full")).collect();
+        let resident: Vec<BtbEntry> = self.sets[set]
+            .ways
+            .iter()
+            .map(|e| e.expect("set full"))
+            .collect();
         match self.policy.choose_victim(set, &resident, &ctx) {
             Victim::Bypass => false,
             Victim::Evict(way) => {
@@ -267,7 +326,19 @@ impl<P: ReplacementPolicy> Btb<P> {
 
     /// Number of currently resident entries.
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().map(|s| s.ways.iter().flatten().count()).sum()
+        self.sets
+            .iter()
+            .map(|s| s.ways.iter().flatten().count())
+            .sum()
+    }
+
+    /// Number of currently resident entries in set `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn set_occupancy(&self, s: usize) -> usize {
+        self.sets[s].ways.iter().flatten().count()
     }
 }
 
@@ -283,8 +354,12 @@ mod tests {
     #[test]
     fn miss_then_hit() {
         let mut btb = tiny();
-        assert!(btb.access_taken(0x100, 0x200, BranchKind::CondDirect, u64::MAX).is_miss());
-        assert!(btb.access_taken(0x100, 0x200, BranchKind::CondDirect, u64::MAX).is_hit());
+        assert!(btb
+            .access_taken(0x100, 0x200, BranchKind::CondDirect, u64::MAX)
+            .is_miss());
+        assert!(btb
+            .access_taken(0x100, 0x200, BranchKind::CondDirect, u64::MAX)
+            .is_hit());
         assert_eq!(btb.stats().hits, 1);
         assert_eq!(btb.stats().misses, 1);
     }
@@ -304,7 +379,12 @@ mod tests {
         let mut btb = tiny();
         btb.access_taken(0x100, 0x200, BranchKind::IndirectJump, u64::MAX);
         let out = btb.access_taken(0x100, 0x300, BranchKind::IndirectJump, u64::MAX);
-        assert_eq!(out, AccessOutcome::Hit { target_matched: false });
+        assert_eq!(
+            out,
+            AccessOutcome::Hit {
+                target_matched: false
+            }
+        );
         assert_eq!(btb.probe(0x100).unwrap().target, 0x300);
         assert_eq!(btb.stats().target_mismatches, 1);
     }
@@ -337,6 +417,8 @@ mod tests {
         assert!(btb.prefetch_fill(0x100, 0x200, BranchKind::CondDirect));
         assert_eq!(btb.stats().accesses, 0);
         assert_eq!(btb.stats().prefetch_fills, 1);
-        assert!(btb.access_taken(0x100, 0x200, BranchKind::CondDirect, u64::MAX).is_hit());
+        assert!(btb
+            .access_taken(0x100, 0x200, BranchKind::CondDirect, u64::MAX)
+            .is_hit());
     }
 }

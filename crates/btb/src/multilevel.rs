@@ -16,7 +16,10 @@
 use btb_trace::BranchKind;
 
 use crate::policies::Lru;
-use crate::{AccessContext, AccessOutcome, Btb, BtbConfig, BtbEntry, BtbInterface, BtbStats, ReplacementPolicy};
+use crate::{
+    AccessContext, AccessOutcome, Btb, BtbConfig, BtbEntry, BtbInterface, BtbStats,
+    ReplacementPolicy,
+};
 
 /// An inclusive two-level BTB: small LRU L1 in front of a policy-managed L2.
 #[derive(Debug)]
@@ -132,7 +135,12 @@ mod tests {
     use crate::policies::Srrip;
 
     fn ctx(pc: u64) -> AccessContext {
-        AccessContext { pc, target: pc + 0x100, kind: BranchKind::UncondDirect, ..Default::default() }
+        AccessContext {
+            pc,
+            target: pc + 0x100,
+            kind: BranchKind::UncondDirect,
+            ..Default::default()
+        }
     }
 
     fn two_level() -> TwoLevelBtb<Lru> {
@@ -161,7 +169,11 @@ mod tests {
         // 0x40 fell out of the 4-entry L1 but remains in L2 (inclusive).
         let before = btb.l2_hits;
         btb.access(&ctx(0x40));
-        assert_eq!(btb.l2_hits, before + 1, "expected L2 to serve the filtered branch");
+        assert_eq!(
+            btb.l2_hits,
+            before + 1,
+            "expected L2 to serve the filtered branch"
+        );
         // And it was promoted: the next access hits L1.
         btb.access(&ctx(0x40));
         assert!(btb.l1_hits >= 1);

@@ -107,7 +107,12 @@ impl ReplacementPolicy for Drrip {
         *self.rrpv.get_mut(set, way) = rrpv;
     }
 
-    fn choose_victim(&mut self, set: usize, _resident: &[BtbEntry], _ctx: &AccessContext) -> Victim {
+    fn choose_victim(
+        &mut self,
+        set: usize,
+        _resident: &[BtbEntry],
+        _ctx: &AccessContext,
+    ) -> Victim {
         let row = self.rrpv.row_mut(set);
         loop {
             if let Some(way) = row.iter().position(|&v| v == RRPV_MAX) {
@@ -172,6 +177,9 @@ mod tests {
         let stream: Vec<u64> = (0..10_000).map(|i| ((i % 32) * 4) as u64).collect();
         let srrip = drive(Srrip::new(), &stream, 16);
         let drrip = drive(Drrip::new(), &stream, 16);
-        assert!((srrip as i64 - drrip as i64).abs() < 200, "srrip {srrip} vs drrip {drrip}");
+        assert!(
+            (srrip as i64 - drrip as i64).abs() < 200,
+            "srrip {srrip} vs drrip {drrip}"
+        );
     }
 }

@@ -45,9 +45,18 @@ impl ReplacementPolicy for Fifo {
         self.stamp(set, way);
     }
 
-    fn choose_victim(&mut self, set: usize, _resident: &[BtbEntry], _ctx: &AccessContext) -> Victim {
+    fn choose_victim(
+        &mut self,
+        set: usize,
+        _resident: &[BtbEntry],
+        _ctx: &AccessContext,
+    ) -> Victim {
         let row = self.filled_at.row(set);
-        Victim::Evict((0..row.len()).min_by_key(|&w| row[w]).expect("set non-empty"))
+        Victim::Evict(
+            (0..row.len())
+                .min_by_key(|&w| row[w])
+                .expect("set non-empty"),
+        )
     }
 
     fn on_replace(&mut self, set: usize, way: usize, _evicted: &BtbEntry, _ctx: &AccessContext) {
@@ -76,7 +85,10 @@ mod tests {
             lru.access_taken(pc, 0x1, BranchKind::UncondDirect, u64::MAX);
         }
         assert!(fifo.probe(10).is_none(), "FIFO evicts the oldest fill");
-        assert!(lru.probe(10).is_some(), "LRU protects the recently used entry");
+        assert!(
+            lru.probe(10).is_some(),
+            "LRU protects the recently used entry"
+        );
     }
 
     #[test]

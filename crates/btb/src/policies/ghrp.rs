@@ -34,7 +34,12 @@ impl Default for GhrpConfig {
     /// Parameters close to the ISCA'18 configuration: 3 × 4K-entry tables of
     /// 3-bit counters, threshold 12 of a possible 21.
     fn default() -> Self {
-        Self { table_bits: 12, counter_max: 7, dead_threshold: 12, history_length: 4 }
+        Self {
+            table_bits: 12,
+            counter_max: 7,
+            dead_threshold: 12,
+            history_length: 4,
+        }
     }
 }
 
@@ -199,10 +204,16 @@ mod tests {
 
     #[test]
     fn dead_signatures_become_predicted_dead() {
-        let mut p = Ghrp::new(GhrpConfig { history_length: 0, ..GhrpConfig::default() });
+        let mut p = Ghrp::new(GhrpConfig {
+            history_length: 0,
+            ..GhrpConfig::default()
+        });
         p.reset(&BtbConfig::new(4, 4).geometry());
         let sig = p.signature(0x1234);
-        assert!(!p.predict_dead(sig), "fresh predictor must not predict dead");
+        assert!(
+            !p.predict_dead(sig),
+            "fresh predictor must not predict dead"
+        );
         for _ in 0..8 {
             p.train(sig, true);
         }
@@ -210,7 +221,10 @@ mod tests {
         for _ in 0..8 {
             p.train(sig, false);
         }
-        assert!(!p.predict_dead(sig), "live training must rehabilitate the signature");
+        assert!(
+            !p.predict_dead(sig),
+            "live training must rehabilitate the signature"
+        );
     }
 
     #[test]
@@ -257,6 +271,9 @@ mod tests {
         let s1 = p.signature(0x1000);
         p.push_history(0xabcd);
         let s2 = p.signature(0x1000);
-        assert_ne!(s1, s2, "same pc under different history must produce different signatures");
+        assert_ne!(
+            s1, s2,
+            "same pc under different history must produce different signatures"
+        );
     }
 }

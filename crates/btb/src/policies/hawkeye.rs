@@ -28,7 +28,11 @@ pub struct HawkeyeConfig {
 
 impl Default for HawkeyeConfig {
     fn default() -> Self {
-        Self { set_sample_shift: 4, predictor_bits: 13, window_ways_multiple: 8 }
+        Self {
+            set_sample_shift: 4,
+            predictor_bits: 13,
+            window_ways_multiple: 8,
+        }
     }
 }
 
@@ -259,7 +263,10 @@ mod tests {
     fn predictor_trains_toward_averse() {
         let mut h = Hawkeye::new(HawkeyeConfig::default());
         h.reset(&BtbConfig::new(64, 4).geometry());
-        assert!(h.predict_friendly(0x123), "initial state is weakly friendly");
+        assert!(
+            h.predict_friendly(0x123),
+            "initial state is weakly friendly"
+        );
         for _ in 0..8 {
             h.train(0x123, false);
         }

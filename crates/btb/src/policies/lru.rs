@@ -29,7 +29,9 @@ impl Lru {
     /// among coldest-temperature candidates with LRU) can reuse the stamps.
     pub fn lru_way(&self, set: usize) -> usize {
         let row = self.stamps.row(set);
-        (0..row.len()).min_by_key(|&w| row[w]).expect("set has at least one way")
+        (0..row.len())
+            .min_by_key(|&w| row[w])
+            .expect("set has at least one way")
     }
 
     /// Least recently used way among an explicit candidate list.
@@ -65,7 +67,12 @@ impl ReplacementPolicy for Lru {
         self.touch(set, way);
     }
 
-    fn choose_victim(&mut self, set: usize, _resident: &[BtbEntry], _ctx: &AccessContext) -> Victim {
+    fn choose_victim(
+        &mut self,
+        set: usize,
+        _resident: &[BtbEntry],
+        _ctx: &AccessContext,
+    ) -> Victim {
         Victim::Evict(self.lru_way(set))
     }
 
@@ -84,7 +91,9 @@ mod tests {
     fn evicts_least_recent() {
         // Single set of 2 ways.
         let mut btb = Btb::new(BtbConfig::new(2, 2), Lru::new());
-        let t = |btb: &mut Btb<Lru>, pc: u64| btb.access_taken(pc, 0x1, BranchKind::UncondDirect, u64::MAX);
+        let t = |btb: &mut Btb<Lru>, pc: u64| {
+            btb.access_taken(pc, 0x1, BranchKind::UncondDirect, u64::MAX)
+        };
         t(&mut btb, 10); // fills way 0
         t(&mut btb, 20); // fills way 1
         t(&mut btb, 10); // refresh 10
@@ -106,7 +115,10 @@ mod tests {
                 btb.access_taken(pc, 0x1, BranchKind::UncondDirect, u64::MAX);
             }
             let hits = btb.stats().hits;
-            assert!(hits >= prev, "LRU hits decreased from {prev} to {hits} at {ways} ways");
+            assert!(
+                hits >= prev,
+                "LRU hits decreased from {prev} to {hits} at {ways} ways"
+            );
             prev = hits;
         }
     }

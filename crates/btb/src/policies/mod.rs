@@ -47,7 +47,9 @@ impl<T: Clone + Default> WayTable<T> {
     /// One slot per set (for per-set — rather than per-way — metadata like
     /// PLRU tree bits).
     pub(crate) fn sized_single(sets: usize) -> Self {
-        Self { rows: vec![vec![T::default(); 1]; sets] }
+        Self {
+            rows: vec![vec![T::default(); 1]; sets],
+        }
     }
 
     pub(crate) fn get(&self, set: usize, way: usize) -> &T {
@@ -184,14 +186,24 @@ mod tests {
         // Build per-access next-use with an actual oracle.
         let mut trace = btb_trace::Trace::new("loop");
         for &pc in &stream {
-            trace.push(btb_trace::BranchRecord::taken(pc * 4, 0x100, BranchKind::UncondDirect, 0));
+            trace.push(btb_trace::BranchRecord::taken(
+                pc * 4,
+                0x100,
+                BranchKind::UncondDirect,
+                0,
+            ));
         }
         let oracle = btb_trace::NextUseOracle::build(&trace);
 
         fn run<P: ReplacementPolicy>(policy: P, oracle: &btb_trace::NextUseOracle) -> u64 {
             let mut btb = Btb::new(BtbConfig::new(4, 4), policy);
             for i in 0..oracle.len() {
-                btb.access_taken(oracle.pc(i), 0x100, BranchKind::UncondDirect, oracle.next_use(i));
+                btb.access_taken(
+                    oracle.pc(i),
+                    0x100,
+                    BranchKind::UncondDirect,
+                    oracle.next_use(i),
+                );
             }
             btb.stats().hits
         }
@@ -199,6 +211,9 @@ mod tests {
         let lru_hits = run(Lru::new(), &oracle);
         let opt_hits = run(BeladyOpt::new(), &oracle);
         assert_eq!(lru_hits, 0, "LRU thrashes a loop one larger than capacity");
-        assert!(opt_hits >= 70, "OPT should keep most of the loop resident, got {opt_hits}");
+        assert!(
+            opt_hits >= 70,
+            "OPT should keep most of the loop resident, got {opt_hits}"
+        );
     }
 }

@@ -76,7 +76,7 @@ mod tests {
     use crate::policies::Lru;
     use crate::{Btb, BtbConfig};
     use btb_trace::{BranchKind, BranchRecord, NextUseOracle, Trace};
-    use proptest::prelude::*;
+    use sim_support::forall;
 
     fn oracle_of(pcs: &[u64]) -> NextUseOracle {
         let mut t = Trace::new("opt-test");
@@ -89,7 +89,12 @@ mod tests {
     fn hits<P: ReplacementPolicy>(policy: P, config: BtbConfig, oracle: &NextUseOracle) -> u64 {
         let mut btb = Btb::new(config, policy);
         for i in 0..oracle.len() {
-            btb.access_taken(oracle.pc(i), 0x1, BranchKind::UncondDirect, oracle.next_use(i));
+            btb.access_taken(
+                oracle.pc(i),
+                0x1,
+                BranchKind::UncondDirect,
+                oracle.next_use(i),
+            );
         }
         btb.stats().hits
     }
@@ -111,7 +116,12 @@ mod tests {
         let oracle = oracle_of(&stream);
         let mut btb = Btb::new(BtbConfig::new(3, 3), BeladyOpt::new());
         for i in 0..oracle.len() {
-            btb.access_taken(oracle.pc(i), 0x1, BranchKind::UncondDirect, oracle.next_use(i));
+            btb.access_taken(
+                oracle.pc(i),
+                0x1,
+                BranchKind::UncondDirect,
+                oracle.next_use(i),
+            );
         }
         // 99 never recurs: with the set full it must be bypassed, so
         // 1, 2, 3 all hit on their second round.
@@ -119,13 +129,18 @@ mod tests {
         assert_eq!(btb.stats().hits, 3);
     }
 
-    proptest! {
-        /// OPT-with-bypass never yields fewer hits than any online policy on
-        /// any stream (optimality, spot-checked across the whole zoo).
-        #[test]
-        fn prop_opt_dominates_every_online_policy(pcs in proptest::collection::vec(0u64..24, 1..300)) {
-            use crate::policies::{Drrip, Fifo, Ghrp, GhrpConfig, Hawkeye, HawkeyeConfig, PseudoLru, Random, Ship, Srrip};
-            let oracle = oracle_of(&pcs);
+    /// OPT-with-bypass never yields fewer hits than any online policy on
+    /// any stream (optimality, spot-checked across the whole zoo).
+    #[test]
+    fn prop_opt_dominates_every_online_policy() {
+        use crate::policies::{
+            Drrip, Fifo, Ghrp, GhrpConfig, Hawkeye, HawkeyeConfig, PseudoLru, Random, Ship, Srrip,
+        };
+        forall!(cases: 48, gen: |rng| {
+            let len = rng.gen_range(1usize..300);
+            (0..len).map(|_| rng.gen_range(0u64..24)).collect::<Vec<u64>>()
+        }, shrink: sim_support::forall::shrink_halves, prop: |pcs| {
+            let oracle = oracle_of(pcs);
             let config = BtbConfig::new(8, 4);
             let opt = hits(BeladyOpt::new(), config, &oracle);
             let rivals: Vec<(&str, u64)> = vec![
@@ -140,22 +155,27 @@ mod tests {
                 ("Hawkeye", hits(Hawkeye::new(HawkeyeConfig::default()), config, &oracle)),
             ];
             for (name, h) in rivals {
-                prop_assert!(opt >= h, "OPT {opt} < {name} {h} on {pcs:?}");
+                assert!(opt >= h, "OPT {opt} < {name} {h} on {pcs:?}");
             }
-        }
+        });
+    }
 
-        /// OPT hit count is monotone in associativity for a fixed set count
-        /// (more capacity never hurts the optimal policy).
-        #[test]
-        fn prop_opt_monotone_in_ways(pcs in proptest::collection::vec(0u64..40, 1..200)) {
-            let oracle = oracle_of(&pcs);
+    /// OPT hit count is monotone in associativity for a fixed set count
+    /// (more capacity never hurts the optimal policy).
+    #[test]
+    fn prop_opt_monotone_in_ways() {
+        forall!(cases: 48, gen: |rng| {
+            let len = rng.gen_range(1usize..200);
+            (0..len).map(|_| rng.gen_range(0u64..40)).collect::<Vec<u64>>()
+        }, shrink: sim_support::forall::shrink_halves, prop: |pcs| {
+            let oracle = oracle_of(pcs);
             let mut prev = 0;
             for ways in [1usize, 2, 4] {
                 // Fix 2 sets; capacity = 2 * ways.
                 let h = hits(BeladyOpt::new(), BtbConfig::new(2 * ways, ways), &oracle);
-                prop_assert!(h >= prev);
+                assert!(h >= prev);
                 prev = h;
             }
-        }
+        });
     }
 }

@@ -106,7 +106,10 @@ mod tests {
         assert!(btb.probe(1).is_some());
         assert!(btb.probe(2).is_some());
         assert!(btb.probe(5).is_some());
-        assert_eq!(btb.probe(3).is_none() as u8 + btb.probe(4).is_none() as u8, 1);
+        assert_eq!(
+            btb.probe(3).is_none() as u8 + btb.probe(4).is_none() as u8,
+            1
+        );
     }
 
     #[test]

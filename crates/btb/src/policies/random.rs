@@ -15,7 +15,11 @@ impl Random {
     /// Creates a random policy with the given seed (seed 0 is remapped to a
     /// fixed non-zero constant since xorshift requires non-zero state).
     pub fn with_seed(seed: u64) -> Self {
-        let seed = if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed };
+        let seed = if seed == 0 {
+            0x9e37_79b9_7f4a_7c15
+        } else {
+            seed
+        };
         Self { seed, state: seed }
     }
 
@@ -49,7 +53,12 @@ impl ReplacementPolicy for Random {
 
     fn on_fill(&mut self, _set: usize, _way: usize, _ctx: &AccessContext) {}
 
-    fn choose_victim(&mut self, _set: usize, resident: &[BtbEntry], _ctx: &AccessContext) -> Victim {
+    fn choose_victim(
+        &mut self,
+        _set: usize,
+        resident: &[BtbEntry],
+        _ctx: &AccessContext,
+    ) -> Victim {
         Victim::Evict((self.next() % resident.len() as u64) as usize)
     }
 
@@ -78,7 +87,12 @@ mod tests {
     fn victims_cover_all_ways() {
         let mut policy = Random::with_seed(3);
         let resident = vec![
-            BtbEntry { pc: 0, target: 0, kind: BranchKind::CondDirect, hint: 0 };
+            BtbEntry {
+                pc: 0,
+                target: 0,
+                kind: BranchKind::CondDirect,
+                hint: 0
+            };
             4
         ];
         let mut seen = [false; 4];
@@ -88,6 +102,9 @@ mod tests {
                 Victim::Bypass => panic!("random never bypasses"),
             }
         }
-        assert!(seen.iter().all(|&s| s), "some way was never chosen: {seen:?}");
+        assert!(
+            seen.iter().all(|&s| s),
+            "some way was never chosen: {seen:?}"
+        );
     }
 }

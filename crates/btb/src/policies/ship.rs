@@ -40,7 +40,10 @@ impl Default for Ship {
 impl Ship {
     /// Creates a SHiP policy with a weakly-re-referenced initial SHCT.
     pub fn new() -> Self {
-        Self { shct: vec![1; 1 << SHCT_BITS], meta: WayTable::default() }
+        Self {
+            shct: vec![1; 1 << SHCT_BITS],
+            meta: WayTable::default(),
+        }
     }
 
     fn signature(pc: u64) -> u16 {
@@ -65,8 +68,16 @@ impl Ship {
 
     fn insert(&mut self, set: usize, way: usize, ctx: &AccessContext) {
         let signature = Self::signature(ctx.pc);
-        let rrpv = if self.shct[usize::from(signature)] == 0 { RRPV_MAX } else { RRPV_LONG };
-        *self.meta.get_mut(set, way) = EntryMeta { rrpv, signature, referenced: false };
+        let rrpv = if self.shct[usize::from(signature)] == 0 {
+            RRPV_MAX
+        } else {
+            RRPV_LONG
+        };
+        *self.meta.get_mut(set, way) = EntryMeta {
+            rrpv,
+            signature,
+            referenced: false,
+        };
     }
 }
 
@@ -94,7 +105,12 @@ impl ReplacementPolicy for Ship {
         self.insert(set, way, ctx);
     }
 
-    fn choose_victim(&mut self, set: usize, _resident: &[BtbEntry], _ctx: &AccessContext) -> Victim {
+    fn choose_victim(
+        &mut self,
+        set: usize,
+        _resident: &[BtbEntry],
+        _ctx: &AccessContext,
+    ) -> Victim {
         let row = self.meta.row_mut(set);
         loop {
             if let Some(way) = row.iter().position(|m| m.rrpv == RRPV_MAX) {

@@ -51,7 +51,12 @@ impl ReplacementPolicy for Srrip {
         *self.rrpv.get_mut(set, way) = RRPV_LONG;
     }
 
-    fn choose_victim(&mut self, set: usize, _resident: &[BtbEntry], _ctx: &AccessContext) -> Victim {
+    fn choose_victim(
+        &mut self,
+        set: usize,
+        _resident: &[BtbEntry],
+        _ctx: &AccessContext,
+    ) -> Victim {
         let row = self.rrpv.row_mut(set);
         loop {
             if let Some(way) = row.iter().position(|&v| v == RRPV_MAX) {
@@ -117,7 +122,12 @@ mod tests {
     fn victim_is_distant_entry() {
         let mut p = Srrip::new();
         p.reset(&BtbConfig::new(4, 4).geometry());
-        let dummy = BtbEntry { pc: 0, target: 0, kind: BranchKind::CondDirect, hint: 0 };
+        let dummy = BtbEntry {
+            pc: 0,
+            target: 0,
+            kind: BranchKind::CondDirect,
+            hint: 0,
+        };
         let resident = vec![dummy; 4];
         // Fill all, hit way 2, then the first victim must not be way 2.
         for way in 0..4 {

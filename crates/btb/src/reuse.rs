@@ -58,7 +58,10 @@ impl ReuseAnalysis {
             match list.iter().position(|&pc| pc == r.pc) {
                 Some(pos) => {
                     // `pos` unique PCs were touched since the last access.
-                    distances.entry(r.pc).or_default().push((1.0 + pos as f64).log2());
+                    distances
+                        .entry(r.pc)
+                        .or_default()
+                        .push((1.0 + pos as f64).log2());
                     list.remove(pos);
                     list.insert(0, r.pc);
                 }
@@ -88,8 +91,16 @@ impl ReuseAnalysis {
             }
         }
         VarianceSummary {
-            transient: if transient_n == 0 { 0.0 } else { transient_sum / transient_n as f64 },
-            holistic: if holistic_n == 0 { 0.0 } else { holistic_sum / holistic_n as f64 },
+            transient: if transient_n == 0 {
+                0.0
+            } else {
+                transient_sum / transient_n as f64
+            },
+            holistic: if holistic_n == 0 {
+                0.0
+            } else {
+                holistic_sum / holistic_n as f64
+            },
             branches: holistic_n,
         }
     }
@@ -150,7 +161,10 @@ mod tests {
         let a = ReuseAnalysis::measure(&t, &g);
         assert_eq!(a.distances[&10], vec![(1.0f64 + 2.0).log2()]);
         assert_eq!(a.distances[&20], vec![(1.0f64 + 1.0).log2()]);
-        assert!(!a.distances.contains_key(&30), "single access yields no distance");
+        assert!(
+            !a.distances.contains_key(&30),
+            "single access yields no distance"
+        );
     }
 
     #[test]
@@ -160,7 +174,11 @@ mod tests {
         let g = BtbConfig::new(4, 2).geometry();
         let t = trace_of(&[8, 4, 12, 20, 8]);
         let a = ReuseAnalysis::measure(&t, &g);
-        assert_eq!(a.distances[&8], vec![0.0], "no set-0 pc intervened: distance 0");
+        assert_eq!(
+            a.distances[&8],
+            vec![0.0],
+            "no set-0 pc intervened: distance 0"
+        );
     }
 
     #[test]
@@ -174,7 +192,9 @@ mod tests {
     fn alternating_distances_transient_exceeds_holistic() {
         // Alternating 0, 4, 0, 4...: successive differences are all 4 =>
         // transient = 16·(n-2)/(n-1) ≈ 16; holistic variance = 4.
-        let samples: Vec<f64> = (0..20).map(|i| if i % 2 == 0 { 0.0 } else { 4.0 }).collect();
+        let samples: Vec<f64> = (0..20)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 4.0 })
+            .collect();
         let t = transient_variance(&samples).unwrap();
         let h = holistic_variance(&samples).unwrap();
         assert!(t > 2.0 * h, "transient {t} should exceed 2x holistic {h}");

@@ -77,7 +77,13 @@ mod tests {
 
     #[test]
     fn rates_compute() {
-        let s = BtbStats { accesses: 10, hits: 7, misses: 3, bypasses: 1, ..Default::default() };
+        let s = BtbStats {
+            accesses: 10,
+            hits: 7,
+            misses: 3,
+            bypasses: 1,
+            ..Default::default()
+        };
         assert!((s.hit_rate() - 0.7).abs() < 1e-12);
         assert!((s.miss_rate() - 0.3).abs() < 1e-12);
         assert!((s.mpki(1000) - 3.0).abs() < 1e-12);

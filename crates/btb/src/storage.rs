@@ -27,12 +27,21 @@ impl EntryLayout {
     /// A layout matching the paper's 75 KB / 8192-entry baseline
     /// (≈75 bits per entry), without hints.
     pub fn paper_baseline() -> Self {
-        Self { tag_bits: 16, target_bits: 46, kind_bits: 3, replacement_bits: 10, hint_bits: 0 }
+        Self {
+            tag_bits: 16,
+            target_bits: 46,
+            kind_bits: 3,
+            replacement_bits: 10,
+            hint_bits: 0,
+        }
     }
 
     /// The same layout carrying a `bits`-bit Thermometer hint.
     pub fn with_hint_bits(self, bits: u32) -> Self {
-        Self { hint_bits: bits, ..self }
+        Self {
+            hint_bits: bits,
+            ..self
+        }
     }
 
     /// Total bits per entry.
@@ -113,7 +122,10 @@ mod tests {
         // 46-bit targets: substantially more entries at equal storage
         // (the orthogonal compression direction of the paper's §5).
         let baseline = EntryLayout::paper_baseline();
-        let compressed = EntryLayout { target_bits: 24, ..baseline };
+        let compressed = EntryLayout {
+            target_bits: 24,
+            ..baseline
+        };
         let entries = iso_storage_entries(baseline, compressed, 8192);
         assert!(entries > 11_000, "compressed layout fits {entries}");
     }

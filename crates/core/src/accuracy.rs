@@ -25,7 +25,10 @@ pub struct EvictionRecorder<P> {
 impl<P: ReplacementPolicy> EvictionRecorder<P> {
     /// Wraps a policy.
     pub fn new(inner: P) -> Self {
-        Self { inner, evictions: Vec::new() }
+        Self {
+            inner,
+            evictions: Vec::new(),
+        }
     }
 
     /// The recorded evictions.
@@ -130,7 +133,12 @@ pub fn measure_accuracy<P: ReplacementPolicy>(
 /// Whether `victim`'s next reappearance in the set's access list after
 /// global access index `at` is preceded by at least `ways` unique other
 /// branches (or never happens).
-fn future_distance_at_least(set_accesses: &[(u64, u64)], at: u64, victim: u64, ways: usize) -> bool {
+fn future_distance_at_least(
+    set_accesses: &[(u64, u64)],
+    at: u64,
+    victim: u64,
+    ways: usize,
+) -> bool {
     let start = set_accesses.partition_point(|&(i, _)| i <= at);
     let mut unique: HashMap<u64, ()> = HashMap::new();
     for &(_, pc) in &set_accesses[start..] {
@@ -173,7 +181,12 @@ mod tests {
 
     #[test]
     fn no_evictions_is_perfectly_accurate() {
-        let r = measure_accuracy(&trace_of(&[1, 2, 3]), BtbConfig::new(4, 4), Lru::new(), None);
+        let r = measure_accuracy(
+            &trace_of(&[1, 2, 3]),
+            BtbConfig::new(4, 4),
+            Lru::new(),
+            None,
+        );
         assert_eq!(r.victims, 0);
         assert_eq!(r.accuracy(), 1.0);
     }
@@ -186,7 +199,9 @@ mod tests {
         // come back sooner: loop of 5 but revisit evicted pcs quickly.
         // Pattern a b c d e a b c d e: LRU evicts `a` to insert `e`, and
         // `a` returns after 4 unique (b c d e)... so use ways=8 set.
-        let pcs: Vec<u64> = (0..40).map(|i| [1u64, 2, 3, 1, 2, 9, 4, 1][i % 8] * 8).collect();
+        let pcs: Vec<u64> = (0..40)
+            .map(|i| [1u64, 2, 3, 1, 2, 9, 4, 1][i % 8] * 8)
+            .collect();
         let r = measure_accuracy(&trace_of(&pcs), BtbConfig::new(4, 4), Lru::new(), None);
         // Mixed stream with tight reuse: some decisions must be inaccurate.
         assert!(r.victims > 0);
@@ -205,10 +220,15 @@ mod tests {
         }
         let trace = trace_of(&pcs);
         let profile = crate::OptProfile::measure(&trace, BtbConfig::new(4, 4));
-        let hints = crate::HintTable::from_profile(&profile, &crate::TemperatureConfig::paper_default());
+        let hints =
+            crate::HintTable::from_profile(&profile, &crate::TemperatureConfig::paper_default());
         let lru = measure_accuracy(&trace, BtbConfig::new(4, 4), Lru::new(), None);
-        let therm =
-            measure_accuracy(&trace, BtbConfig::new(4, 4), ThermometerPolicy::new(), Some(&hints));
+        let therm = measure_accuracy(
+            &trace,
+            BtbConfig::new(4, 4),
+            ThermometerPolicy::new(),
+            Some(&hints),
+        );
         assert!(
             therm.accuracy() >= lru.accuracy(),
             "thermometer {:.2} < lru {:.2}",

@@ -34,7 +34,10 @@ pub fn heat_curve(profile: &OptProfile) -> Vec<HeatPoint> {
     sorted
         .iter()
         .enumerate()
-        .map(|(i, (_, c))| HeatPoint { branch_fraction: (i + 1) as f64 / n, hit_to_taken: c.hit_to_taken() })
+        .map(|(i, (_, c))| HeatPoint {
+            branch_fraction: (i + 1) as f64 / n,
+            hit_to_taken: c.hit_to_taken(),
+        })
         .collect()
 }
 
@@ -51,7 +54,11 @@ pub fn dynamic_cdf(profile: &OptProfile) -> Vec<HeatPoint> {
             cumulative += c.taken;
             HeatPoint {
                 branch_fraction: (i + 1) as f64 / n,
-                hit_to_taken: if total == 0 { 0.0 } else { cumulative as f64 / total as f64 },
+                hit_to_taken: if total == 0 {
+                    0.0
+                } else {
+                    cumulative as f64 / total as f64
+                },
             }
         })
         .collect()
@@ -102,10 +109,16 @@ pub fn correlations(trace: &Trace, profile: &OptProfile, geometry: &Geometry) ->
     let mut reuse_dist = Vec::new();
 
     for (&pc, counters) in &profile.branches {
-        let Some(summary) = stats.branches.get(&pc) else { continue };
+        let Some(summary) = stats.branches.get(&pc) else {
+            continue;
+        };
         let t = counters.hit_to_taken();
         temp.push(t);
-        kind.push(if summary.kind.is_conditional() { 1.0 } else { 0.0 });
+        kind.push(if summary.kind.is_conditional() {
+            1.0
+        } else {
+            0.0
+        });
         // log-compress distances: they span many orders of magnitude.
         distance.push((1.0 + summary.mean_target_distance()).ln());
         bias.push(summary.bias());
@@ -134,7 +147,12 @@ mod tests {
         for i in 0..400u64 {
             t.push(BranchRecord::taken(8, 0x100, BranchKind::UncondDirect, 0));
             t.push(BranchRecord::taken(16, 0x100, BranchKind::UncondDirect, 0));
-            t.push(BranchRecord::taken(24 + i * 8, 0x100, BranchKind::UncondDirect, 0));
+            t.push(BranchRecord::taken(
+                24 + i * 8,
+                0x100,
+                BranchKind::UncondDirect,
+                0,
+            ));
         }
         t
     }
@@ -155,7 +173,11 @@ mod tests {
         let cdf = dynamic_cdf(&p);
         // The two hot branches are <1% of unique but ~2/3 of accesses.
         let early = cdf.iter().find(|pt| pt.branch_fraction >= 0.01).unwrap();
-        assert!(early.hit_to_taken > 0.6, "early cumulative share {}", early.hit_to_taken);
+        assert!(
+            early.hit_to_taken > 0.6,
+            "early cumulative share {}",
+            early.hit_to_taken
+        );
         assert!((cdf.last().unwrap().hit_to_taken - 1.0).abs() < 1e-9);
     }
 
@@ -177,12 +199,27 @@ mod tests {
     fn spread_trace() -> Trace {
         let mut t = Trace::new("spread");
         for i in 0..3000u64 {
-            t.push(BranchRecord::taken(8 + (i % 3) * 8, 0x100, BranchKind::UncondDirect, 0));
+            t.push(BranchRecord::taken(
+                8 + (i % 3) * 8,
+                0x100,
+                BranchKind::UncondDirect,
+                0,
+            ));
             if i % 4 == 0 {
-                t.push(BranchRecord::taken(64 + (i / 4 % 10) * 8, 0x100, BranchKind::UncondDirect, 0));
+                t.push(BranchRecord::taken(
+                    64 + (i / 4 % 10) * 8,
+                    0x100,
+                    BranchKind::UncondDirect,
+                    0,
+                ));
             }
             if i % 2 == 0 {
-                t.push(BranchRecord::taken(1024 + i * 8, 0x100, BranchKind::UncondDirect, 0));
+                t.push(BranchRecord::taken(
+                    1024 + i * 8,
+                    0x100,
+                    BranchKind::UncondDirect,
+                    0,
+                ));
             }
         }
         t
@@ -199,6 +236,10 @@ mod tests {
             c.reuse_vs_temperature,
             c.kind_vs_temperature
         );
-        assert!(c.reuse_vs_temperature > 0.3, "reuse correlation {}", c.reuse_vs_temperature);
+        assert!(
+            c.reuse_vs_temperature > 0.3,
+            "reuse correlation {}",
+            c.reuse_vs_temperature
+        );
     }
 }

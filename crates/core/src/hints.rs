@@ -47,7 +47,11 @@ impl HintTable {
             .iter()
             .map(|(&pc, counters)| (pc, config.category(counters.hit_to_taken())))
             .collect();
-        Self { hints, bits: config.hint_bits(), categories: config.categories() }
+        Self {
+            hints,
+            bits: config.hint_bits(),
+            categories: config.categories(),
+        }
     }
 
     /// The hint for a branch (0 = coldest; 0 for unprofiled branches).
@@ -102,12 +106,19 @@ impl HintTable {
     /// their category across inputs, §4.2). Compared over the union of both
     /// tables' branches (absent = coldest).
     pub fn agreement_with(&self, other: &HintTable) -> f64 {
-        let keys: std::collections::HashSet<u64> =
-            self.hints.keys().chain(other.hints.keys()).copied().collect();
+        let keys: std::collections::HashSet<u64> = self
+            .hints
+            .keys()
+            .chain(other.hints.keys())
+            .copied()
+            .collect();
         if keys.is_empty() {
             return 1.0;
         }
-        let same = keys.iter().filter(|&&pc| self.hint(pc) == other.hint(pc)).count();
+        let same = keys
+            .iter()
+            .filter(|&&pc| self.hint(pc) == other.hint(pc))
+            .count();
         same as f64 / keys.len() as f64
     }
 }
@@ -123,7 +134,12 @@ mod tests {
         for &(pc, taken, hits) in entries {
             p.branches.insert(
                 pc,
-                BranchCounters { taken, opt_hits: hits, inserts: taken - hits, bypasses: 0 },
+                BranchCounters {
+                    taken,
+                    opt_hits: hits,
+                    inserts: taken - hits,
+                    bypasses: 0,
+                },
             );
         }
         p
@@ -150,12 +166,19 @@ mod tests {
 
     #[test]
     fn agreement_counts_union() {
-        let a = HintTable::from_profile(&profile(&[(1, 10, 9), (2, 10, 1)]), &TemperatureConfig::paper_default());
-        let b = HintTable::from_profile(&profile(&[(1, 10, 9), (3, 10, 1)]), &TemperatureConfig::paper_default());
+        let a = HintTable::from_profile(
+            &profile(&[(1, 10, 9), (2, 10, 1)]),
+            &TemperatureConfig::paper_default(),
+        );
+        let b = HintTable::from_profile(
+            &profile(&[(1, 10, 9), (3, 10, 1)]),
+            &TemperatureConfig::paper_default(),
+        );
         // Union {1,2,3}: 1 agrees (hot/hot); 2 is cold in a, absent->cold
         // in b (agrees); 3 absent->cold in a, cold in b (agrees).
         assert!((a.agreement_with(&b) - 1.0).abs() < 1e-12);
-        let c = HintTable::from_profile(&profile(&[(1, 10, 0)]), &TemperatureConfig::paper_default());
+        let c =
+            HintTable::from_profile(&profile(&[(1, 10, 0)]), &TemperatureConfig::paper_default());
         assert!(a.agreement_with(&c) < 1.0);
     }
 

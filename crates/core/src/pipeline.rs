@@ -27,7 +27,10 @@ pub struct PipelineConfig {
 
 impl Default for PipelineConfig {
     fn default() -> Self {
-        Self { frontend: FrontendConfig::table1(), temperature: TemperatureConfig::paper_default() }
+        Self {
+            frontend: FrontendConfig::table1(),
+            temperature: TemperatureConfig::paper_default(),
+        }
     }
 }
 
@@ -175,7 +178,11 @@ mod tests {
     use btb_workloads::{AppSpec, InputConfig};
 
     fn small_trace(input: u32) -> Trace {
-        let spec = AppSpec { functions: 400, handlers: 60, ..AppSpec::by_name("kafka").unwrap() };
+        let spec = AppSpec {
+            functions: 400,
+            handlers: 60,
+            ..AppSpec::by_name("kafka").unwrap()
+        };
         spec.generate(InputConfig::input(input), 30_000)
     }
 
@@ -185,7 +192,7 @@ mod tests {
         let p = Pipeline::new(PipelineConfig {
             frontend: FrontendConfig {
                 btb: BtbConfig::new(1024, 4), // small BTB so the footprint thrashes it
-                                              // at the paper's ~4x pressure ratio
+                // at the paper's ~4x pressure ratio
                 ..FrontendConfig::table1()
             },
             ..PipelineConfig::default()
@@ -212,7 +219,13 @@ mod tests {
         assert_eq!(p.run_opt(&trace).label, "OPT");
         let hints = p.profile_to_hints(&trace);
         assert_eq!(p.run_thermometer(&trace, &hints).label, "Thermometer");
-        let perfect = p.run_perfect(&trace, uarch_sim::PerfectOptions { btb: true, ..Default::default() });
+        let perfect = p.run_perfect(
+            &trace,
+            uarch_sim::PerfectOptions {
+                btb: true,
+                ..Default::default()
+            },
+        );
         assert_eq!(perfect.label, "Perfect-BTB");
     }
 
@@ -221,7 +234,10 @@ mod tests {
         let train = small_trace(0);
         let test = small_trace(1);
         let p = Pipeline::new(PipelineConfig {
-            frontend: FrontendConfig { btb: BtbConfig::new(1024, 4), ..FrontendConfig::table1() },
+            frontend: FrontendConfig {
+                btb: BtbConfig::new(1024, 4),
+                ..FrontendConfig::table1()
+            },
             ..PipelineConfig::default()
         });
         let train_hints = p.profile_to_hints(&train);

@@ -85,15 +85,26 @@ impl ReplacementPolicy for ThermometerPolicy {
     fn choose_victim(&mut self, set: usize, resident: &[BtbEntry], ctx: &AccessContext) -> Victim {
         self.coverage.decisions += 1;
         // Algorithm 1 line 3: coldest temperature among residents and x0.
-        let coldest = resident.iter().map(|e| e.hint).min().expect("set non-empty").min(ctx.hint);
-        let hottest = resident.iter().map(|e| e.hint).max().expect("set non-empty").max(ctx.hint);
+        let coldest = resident
+            .iter()
+            .map(|e| e.hint)
+            .min()
+            .expect("set non-empty")
+            .min(ctx.hint);
+        let hottest = resident
+            .iter()
+            .map(|e| e.hint)
+            .max()
+            .expect("set non-empty")
+            .max(ctx.hint);
         if hottest > coldest {
             self.coverage.covered += 1;
         }
 
         // Line 4: S = candidates at the coldest temperature.
-        let resident_coldest: Vec<usize> =
-            (0..resident.len()).filter(|&w| resident[w].hint == coldest).collect();
+        let resident_coldest: Vec<usize> = (0..resident.len())
+            .filter(|&w| resident[w].hint == coldest)
+            .collect();
 
         // Lines 5-6: bypass when the incoming branch is uniquely coldest.
         if resident_coldest.is_empty() {
@@ -146,9 +157,14 @@ impl ReplacementPolicy for ThermometerNoBypass {
     fn choose_victim(&mut self, set: usize, resident: &[BtbEntry], _ctx: &AccessContext) -> Victim {
         // Coldest resident category (the incoming branch is always
         // inserted), LRU tie-break.
-        let coldest = resident.iter().map(|e| e.hint).min().expect("set non-empty");
-        let candidates: Vec<usize> =
-            (0..resident.len()).filter(|&w| resident[w].hint == coldest).collect();
+        let coldest = resident
+            .iter()
+            .map(|e| e.hint)
+            .min()
+            .expect("set non-empty");
+        let candidates: Vec<usize> = (0..resident.len())
+            .filter(|&w| resident[w].hint == coldest)
+            .collect();
         Victim::Evict(self.lru.lru_way_among(set, &candidates))
     }
 
@@ -181,7 +197,12 @@ impl ReplacementPolicy for HolisticOnly {
     fn on_fill(&mut self, _set: usize, _way: usize, _ctx: &AccessContext) {}
 
     fn choose_victim(&mut self, _set: usize, resident: &[BtbEntry], ctx: &AccessContext) -> Victim {
-        let coldest = resident.iter().map(|e| e.hint).min().expect("set non-empty").min(ctx.hint);
+        let coldest = resident
+            .iter()
+            .map(|e| e.hint)
+            .min()
+            .expect("set non-empty")
+            .min(ctx.hint);
         match (0..resident.len()).find(|&w| resident[w].hint == coldest) {
             Some(way) => Victim::Evict(way),
             None => Victim::Bypass,
@@ -198,7 +219,13 @@ mod tests {
     use btb_trace::BranchKind;
 
     fn ctx(pc: u64, hint: u8) -> AccessContext {
-        AccessContext { pc, target: pc + 0x100, kind: BranchKind::UncondDirect, hint, ..Default::default() }
+        AccessContext {
+            pc,
+            target: pc + 0x100,
+            kind: BranchKind::UncondDirect,
+            hint,
+            ..Default::default()
+        }
     }
 
     /// One-set BTB helper.
@@ -212,7 +239,7 @@ mod tests {
         b.access(&ctx(1, 0)); // cold, way 0
         b.access(&ctx(2, 2)); // hot, way 1
         b.access(&ctx(1, 0)); // touch cold -> cold is MRU now
-        // Insert warm: LRU would evict the hot 2; Thermometer evicts cold 1.
+                              // Insert warm: LRU would evict the hot 2; Thermometer evicts cold 1.
         b.access(&ctx(3, 1));
         assert!(b.probe(1).is_none(), "coldest entry must be the victim");
         assert!(b.probe(2).is_some());

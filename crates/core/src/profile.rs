@@ -135,7 +135,8 @@ impl OptProfile {
     /// Branches sorted by descending hit-to-taken (the X-axis ordering of
     /// Figs. 6–7).
     pub fn sorted_by_heat(&self) -> Vec<(u64, BranchCounters)> {
-        let mut v: Vec<(u64, BranchCounters)> = self.branches.iter().map(|(&pc, &c)| (pc, c)).collect();
+        let mut v: Vec<(u64, BranchCounters)> =
+            self.branches.iter().map(|(&pc, &c)| (pc, c)).collect();
         v.sort_by(|a, b| {
             b.1.hit_to_taken()
                 .partial_cmp(&a.1.hit_to_taken())
@@ -164,7 +165,11 @@ mod tests {
         }
         let p = OptProfile::measure(&t, BtbConfig::new(8, 4));
         for (pc, c) in &p.branches {
-            assert_eq!(c.taken, c.opt_hits + c.inserts + c.bypasses, "pc {pc:#x}: {c:?}");
+            assert_eq!(
+                c.taken,
+                c.opt_hits + c.inserts + c.bypasses,
+                "pc {pc:#x}: {c:?}"
+            );
         }
         assert_eq!(p.accesses, 400);
     }

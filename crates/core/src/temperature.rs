@@ -35,7 +35,10 @@ impl Temperature {
     ///
     /// Panics if the thresholds are out of order or out of range.
     pub fn with_thresholds(hit_to_taken: f64, y1: f64, y2: f64) -> Self {
-        assert!((0.0..=1.0).contains(&y1) && (0.0..=1.0).contains(&y2) && y1 <= y2, "bad thresholds {y1} {y2}");
+        assert!(
+            (0.0..=1.0).contains(&y1) && (0.0..=1.0).contains(&y2) && y1 <= y2,
+            "bad thresholds {y1} {y2}"
+        );
         if hit_to_taken > y2 {
             Temperature::Hot
         } else if hit_to_taken > y1 {
@@ -88,7 +91,11 @@ impl TemperatureConfig {
     /// Panics if `categories < 2`.
     pub fn uniform(categories: usize) -> Self {
         assert!(categories >= 2, "need at least two categories");
-        Self::new((1..categories).map(|i| i as f64 / categories as f64).collect())
+        Self::new(
+            (1..categories)
+                .map(|i| i as f64 / categories as f64)
+                .collect(),
+        )
     }
 
     /// Number of categories (thresholds + 1).
@@ -103,7 +110,10 @@ impl TemperatureConfig {
 
     /// Category of a hit-to-taken ratio, `0 = coldest`.
     pub fn category(&self, hit_to_taken: f64) -> u8 {
-        self.thresholds.iter().filter(|&&t| hit_to_taken > t).count() as u8
+        self.thresholds
+            .iter()
+            .filter(|&&t| hit_to_taken > t)
+            .count() as u8
     }
 
     /// The cut points.
@@ -201,7 +211,11 @@ mod tests {
     #[test]
     fn paper_thresholds_classify() {
         assert_eq!(Temperature::of(0.95), Temperature::Hot);
-        assert_eq!(Temperature::of(0.80), Temperature::Warm, "boundary is inclusive-left");
+        assert_eq!(
+            Temperature::of(0.80),
+            Temperature::Warm,
+            "boundary is inclusive-left"
+        );
         assert_eq!(Temperature::of(0.65), Temperature::Warm);
         assert_eq!(Temperature::of(0.50), Temperature::Cold);
         assert_eq!(Temperature::of(0.0), Temperature::Cold);
@@ -246,11 +260,21 @@ mod tests {
         let mut p = OptProfile::default();
         p.branches.insert(
             0x10,
-            BranchCounters { taken: hot_hits + 1, opt_hits: hot_hits, inserts: 1, bypasses: 0 },
+            BranchCounters {
+                taken: hot_hits + 1,
+                opt_hits: hot_hits,
+                inserts: 1,
+                bypasses: 0,
+            },
         );
         p.branches.insert(
             0x20,
-            BranchCounters { taken: cold_bypasses, opt_hits: 0, inserts: 0, bypasses: cold_bypasses },
+            BranchCounters {
+                taken: cold_bypasses,
+                opt_hits: 0,
+                inserts: 0,
+                bypasses: cold_bypasses,
+            },
         );
         p
     }

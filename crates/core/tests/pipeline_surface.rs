@@ -10,7 +10,11 @@ use uarch_sim::prefetch::Confluence;
 use uarch_sim::FrontendConfig;
 
 fn small_trace(input: u32) -> btb_trace::Trace {
-    let spec = AppSpec { functions: 300, handlers: 30, ..AppSpec::by_name("python").unwrap() };
+    let spec = AppSpec {
+        functions: 300,
+        handlers: 30,
+        ..AppSpec::by_name("python").unwrap()
+    };
     spec.generate(InputConfig::input(input), 50_000)
 }
 
@@ -20,7 +24,13 @@ fn run_custom_composes_labels() {
     let p = Pipeline::new(PipelineConfig::default());
     let plain = p.run_custom(&trace, Srrip::new(), None, false, None);
     assert_eq!(plain.label, "SRRIP");
-    let with_pf = p.run_custom(&trace, Srrip::new(), None, false, Some(Box::new(Confluence::new())));
+    let with_pf = p.run_custom(
+        &trace,
+        Srrip::new(),
+        None,
+        false,
+        Some(Box::new(Confluence::new())),
+    );
     assert_eq!(with_pf.label, "SRRIP+Confluence");
 }
 
@@ -38,7 +48,10 @@ fn run_custom_with_oracle_matches_run_opt() {
 fn detailed_run_reports_consistent_coverage() {
     let trace = small_trace(0);
     let p = Pipeline::new(PipelineConfig {
-        frontend: FrontendConfig { btb: BtbConfig::new(1024, 4), ..FrontendConfig::table1() },
+        frontend: FrontendConfig {
+            btb: BtbConfig::new(1024, 4),
+            ..FrontendConfig::table1()
+        },
         temperature: TemperatureConfig::paper_default(),
     });
     let hints = p.profile_to_hints(&trace);
@@ -54,11 +67,20 @@ fn detailed_run_reports_consistent_coverage() {
 fn no_bypass_ablation_never_bypasses_on_real_traffic() {
     let trace = small_trace(1);
     let p = Pipeline::new(PipelineConfig {
-        frontend: FrontendConfig { btb: BtbConfig::new(512, 4), ..FrontendConfig::table1() },
+        frontend: FrontendConfig {
+            btb: BtbConfig::new(512, 4),
+            ..FrontendConfig::table1()
+        },
         temperature: TemperatureConfig::paper_default(),
     });
     let hints = p.profile_to_hints(&trace);
-    let report = p.run_custom(&trace, ThermometerNoBypass::new(), Some(&hints), false, None);
+    let report = p.run_custom(
+        &trace,
+        ThermometerNoBypass::new(),
+        Some(&hints),
+        false,
+        None,
+    );
     assert_eq!(report.btb.bypasses, 0);
     assert_eq!(report.label, "Therm-NoBypass");
 }
@@ -82,7 +104,10 @@ fn threshold_search_lands_inside_grid() {
     let profile = OptProfile::measure(&trace, BtbConfig::table1());
     let grid = thermometer::temperature::default_candidates();
     let (y1, y2) = thermometer::temperature::search_thresholds(&profile, &grid);
-    assert!(grid.contains(&(y1, y2)), "search returned ({y1},{y2}) outside the grid");
+    assert!(
+        grid.contains(&(y1, y2)),
+        "search returned ({y1},{y2}) outside the grid"
+    );
 }
 
 #[test]
@@ -92,8 +117,14 @@ fn profiles_of_different_inputs_differ_but_overlap() {
     let keys_a: std::collections::HashSet<&u64> = a.branches.keys().collect();
     let keys_b: std::collections::HashSet<&u64> = b.branches.keys().collect();
     let inter = keys_a.intersection(&keys_b).count();
-    assert!(inter > keys_a.len() / 2, "inputs should share most branches");
-    assert_ne!(a.branches, b.branches, "different inputs must differ somewhere");
+    assert!(
+        inter > keys_a.len() / 2,
+        "inputs should share most branches"
+    );
+    assert_ne!(
+        a.branches, b.branches,
+        "different inputs must differ somewhere"
+    );
 }
 
 #[test]
@@ -111,5 +142,9 @@ fn pipeline_temperature_config_affects_hints() {
     let h_fine = fine.profile_to_hints(&trace);
     assert_eq!(h_coarse.bits(), 1);
     assert_eq!(h_fine.bits(), 4);
-    assert_eq!(h_coarse.len(), h_fine.len(), "same branches, different precision");
+    assert_eq!(
+        h_coarse.len(),
+        h_fine.len(),
+        "same branches, different precision"
+    );
 }

@@ -1,0 +1,80 @@
+//! Golden snapshots of the temperature pipeline: a fixed-seed trace must
+//! always produce the same OPT profile, hot/warm/cold partition, and hint
+//! table. Any drift in the profiler or classifier shows up as a readable
+//! diff against `tests/goldens/`.
+//!
+//! Bless intentional changes with `UPDATE_GOLDENS=1 cargo test -p thermometer`.
+
+use std::fmt::Write as _;
+
+use btb_model::BtbConfig;
+use btb_workloads::{AppSpec, InputConfig};
+use sim_support::assert_snapshot;
+use thermometer::{HintTable, OptProfile, TemperatureConfig};
+
+const STREAM_LEN: usize = 100_000;
+
+fn profile() -> OptProfile {
+    let trace = AppSpec::by_name("kafka")
+        .expect("built-in app")
+        .generate(InputConfig::input(0), STREAM_LEN);
+    OptProfile::measure(&trace, BtbConfig::table1())
+}
+
+#[test]
+fn temperature_partition_is_stable() {
+    let profile = profile();
+    let config = TemperatureConfig::paper_default();
+    let hints = HintTable::from_profile(&profile, &config);
+
+    let hist = hints.category_histogram();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "workload: kafka input 0, {STREAM_LEN} records, table1 BTB"
+    )
+    .unwrap();
+    writeln!(out, "thresholds: {:?}", config.thresholds()).unwrap();
+    writeln!(out, "branches: {}", profile.unique_branches()).unwrap();
+    for (cat, label) in ["cold", "warm", "hot"].iter().enumerate() {
+        writeln!(out, "{label}: {}", hist[cat]).unwrap();
+    }
+    assert_snapshot!("temperature_partition", out);
+}
+
+#[test]
+fn opt_hit_to_taken_percentages_are_stable() {
+    let profile = profile();
+
+    // Aggregate ratio plus the 25 hottest branches: enough to pin the OPT
+    // replay without snapshotting every PC.
+    let total_taken: u64 = profile.branches.values().map(|c| c.taken).sum();
+    let mut out = String::new();
+    writeln!(
+        out,
+        "workload: kafka input 0, {STREAM_LEN} records, table1 BTB"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "aggregate hit-to-taken: {:.4}",
+        profile.total_hits() as f64 / total_taken as f64
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "top branches by heat (pc taken hit_to_taken% bypass%):"
+    )
+    .unwrap();
+    for (pc, c) in profile.sorted_by_heat().into_iter().take(25) {
+        writeln!(
+            out,
+            "{pc:#012x} {} {:.2} {:.2}",
+            c.taken,
+            100.0 * c.hit_to_taken(),
+            100.0 * c.bypass_ratio()
+        )
+        .unwrap();
+    }
+    assert_snapshot!("opt_hit_to_taken", out);
+}

@@ -1,0 +1,149 @@
+//! Golden-file snapshot testing.
+//!
+//! A snapshot test renders some structure to text and compares it against a
+//! checked-in golden file under the calling crate's `tests/goldens/`
+//! directory. On mismatch the test fails with a line diff; running the test
+//! suite with `UPDATE_GOLDENS=1` (re)writes the files instead — review the
+//! resulting `git diff` and commit it if the change is intentional.
+//!
+//! ```no_run
+//! sim_support::assert_snapshot!("temperature_partition", "hot: 12\nwarm: 7\ncold: 81\n");
+//! ```
+
+use std::fs;
+use std::path::Path;
+
+/// Environment variable that blesses (rewrites) golden files.
+pub const UPDATE_ENV: &str = "UPDATE_GOLDENS";
+
+/// Compares `actual` against `{goldens_dir}/{name}.txt`. Prefer the
+/// [`assert_snapshot!`](crate::assert_snapshot) macro, which resolves
+/// `goldens_dir` to the calling crate's `tests/goldens/`.
+///
+/// # Panics
+///
+/// Panics when the golden file is missing or differs (unless
+/// `UPDATE_GOLDENS=1`, in which case the file is written).
+pub fn check_snapshot(goldens_dir: &str, name: &str, actual: &str) {
+    let path = Path::new(goldens_dir).join(format!("{name}.txt"));
+    if std::env::var(UPDATE_ENV).map(|v| v == "1").unwrap_or(false) {
+        fs::create_dir_all(goldens_dir)
+            .unwrap_or_else(|e| panic!("cannot create {goldens_dir}: {e}"));
+        fs::write(&path, actual).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        eprintln!("blessed golden {}", path.display());
+        return;
+    }
+    let expected = match fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(_) => panic!(
+            "missing golden file {}\nrun the test once with {UPDATE_ENV}=1 to create it, then \
+             review and commit the file",
+            path.display()
+        ),
+    };
+    if expected != actual {
+        panic!(
+            "snapshot {name:?} differs from {}\n{}\nif the change is intentional, re-bless with \
+             {UPDATE_ENV}=1 and commit the diff",
+            path.display(),
+            diff(&expected, actual)
+        );
+    }
+}
+
+/// A compact line diff: the first few differing lines with context markers.
+fn diff(expected: &str, actual: &str) -> String {
+    let exp: Vec<&str> = expected.lines().collect();
+    let act: Vec<&str> = actual.lines().collect();
+    let mut out = String::new();
+    let mut shown = 0;
+    for i in 0..exp.len().max(act.len()) {
+        let e = exp.get(i).copied();
+        let a = act.get(i).copied();
+        if e != a {
+            if let Some(e) = e {
+                out.push_str(&format!("  line {:>4} - {e}\n", i + 1));
+            }
+            if let Some(a) = a {
+                out.push_str(&format!("  line {:>4} + {a}\n", i + 1));
+            }
+            shown += 1;
+            if shown >= 20 {
+                out.push_str("  ... (further differences elided)\n");
+                break;
+            }
+        }
+    }
+    if out.is_empty() {
+        // Same lines but different bytes: trailing newline / CR issues.
+        out.push_str(&format!(
+            "  contents differ only in whitespace/terminators (expected {} bytes, got {})\n",
+            expected.len(),
+            actual.len()
+        ));
+    }
+    out
+}
+
+/// Asserts `actual` matches the golden file `tests/goldens/<name>.txt` of
+/// the **calling** crate. `actual` is anything `AsRef<str>`.
+///
+/// Bless with `UPDATE_GOLDENS=1 cargo test ...`.
+#[macro_export]
+macro_rules! assert_snapshot {
+    ($name:expr, $actual:expr $(,)?) => {
+        $crate::golden::check_snapshot(
+            concat!(env!("CARGO_MANIFEST_DIR"), "/tests/goldens"),
+            $name,
+            ::std::convert::AsRef::<str>::as_ref(&$actual),
+        )
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::catch_unwind;
+
+    fn tmp_dir(tag: &str) -> String {
+        let dir =
+            std::env::temp_dir().join(format!("sim-support-golden-{tag}-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir.to_str().unwrap().to_owned()
+    }
+
+    #[test]
+    fn matching_snapshot_passes() {
+        let dir = tmp_dir("match");
+        fs::write(Path::new(&dir).join("ok.txt"), "a\nb\n").unwrap();
+        check_snapshot(&dir, "ok", "a\nb\n");
+    }
+
+    #[test]
+    fn missing_snapshot_mentions_bless_workflow() {
+        let dir = tmp_dir("missing");
+        let err = catch_unwind(|| check_snapshot(&dir, "nope", "x")).expect_err("must fail");
+        let message = err.downcast_ref::<String>().expect("string panic");
+        assert!(message.contains(UPDATE_ENV), "{message}");
+    }
+
+    #[test]
+    fn differing_snapshot_shows_line_diff() {
+        let dir = tmp_dir("differs");
+        fs::write(Path::new(&dir).join("d.txt"), "same\nold line\n").unwrap();
+        let err =
+            catch_unwind(|| check_snapshot(&dir, "d", "same\nnew line\n")).expect_err("must fail");
+        let message = err.downcast_ref::<String>().expect("string panic");
+        assert!(message.contains("- old line"), "{message}");
+        assert!(message.contains("+ new line"), "{message}");
+    }
+
+    #[test]
+    fn trailing_newline_difference_is_reported() {
+        let dir = tmp_dir("newline");
+        fs::write(Path::new(&dir).join("n.txt"), "x\n").unwrap();
+        let err = catch_unwind(|| check_snapshot(&dir, "n", "x")).expect_err("must fail");
+        let message = err.downcast_ref::<String>().expect("string panic");
+        assert!(message.contains("whitespace/terminators"), "{message}");
+    }
+}

@@ -1,0 +1,40 @@
+//! Hermetic simulation-support substrate for the Thermometer reproduction.
+//!
+//! Every number in EXPERIMENTS.md must be regenerable from a clean checkout
+//! with **zero network access** and be **bit-for-bit identical** across runs.
+//! This crate is the foundation of that contract: it replaces the external
+//! `rand`, `proptest` and `criterion` dependencies with small, deterministic,
+//! in-repo equivalents.
+//!
+//! * [`rng`] — a splittable [SplitMix64]-seeded xoshiro256++ generator
+//!   ([`SimRng`]) with the uniform-range, float, bool and shuffle surface the
+//!   workload generators need.
+//! * [`forall`] — a seeded property-test harness (the [`forall!`] macro):
+//!   deterministic case generation, shrinking by halving, and a replayable
+//!   failure seed printed on panic.
+//! * [`golden`] — golden-file snapshots (the [`assert_snapshot!`] macro):
+//!   diffs against `tests/goldens/`, blessed with `UPDATE_GOLDENS=1`.
+//! * [`bench`] — a micro-benchmark harness (warmup + timed iterations,
+//!   median/MAD) writing machine-readable JSON under `results/`.
+//!
+//! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
+//!
+//! # Examples
+//!
+//! ```
+//! use sim_support::SimRng;
+//!
+//! let mut rng = SimRng::seed_from_u64(42);
+//! let die = rng.gen_range(1..=6u64);
+//! assert!((1..=6).contains(&die));
+//! // Same seed, same stream — always.
+//! assert_eq!(SimRng::seed_from_u64(7).next_u64(), SimRng::seed_from_u64(7).next_u64());
+//! ```
+
+pub mod bench;
+pub mod forall;
+pub mod golden;
+pub mod rng;
+
+pub use bench::{BenchHarness, BenchResult};
+pub use rng::{SimRng, SplitMix64};

@@ -1,0 +1,357 @@
+//! Deterministic, splittable pseudo-random number generation.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — the standard
+//! pairing recommended by the xoshiro authors: SplitMix64 decorrelates
+//! arbitrary (possibly low-entropy) user seeds into full 256-bit state, and
+//! xoshiro256++ provides the long-period, statistically strong stream. Both
+//! algorithms are public domain and a few lines each, so the whole simulator
+//! can be bit-for-bit reproducible without touching crates.io.
+//!
+//! [`SimRng::split`] derives an independent child stream from a parent,
+//! letting one experiment seed fan out to per-trace / per-thread generators
+//! without manual seed bookkeeping.
+
+/// SplitMix64: a tiny 64-bit generator used to expand seeds.
+///
+/// Never used as the main stream — only to initialize [`SimRng`] state and
+/// derive split streams, where its equidistribution guarantees that any two
+/// distinct seeds yield well-separated xoshiro states.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates the expander from a user seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// The simulator's pseudo-random generator: xoshiro256++.
+///
+/// # Examples
+///
+/// ```
+/// use sim_support::SimRng;
+///
+/// let mut rng = SimRng::seed_from_u64(1);
+/// let x: f64 = rng.gen();
+/// assert!((0.0..1.0).contains(&x));
+/// let mut deck: Vec<u32> = (0..52).collect();
+/// rng.shuffle(&mut deck);
+/// assert_eq!(deck.len(), 52);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+impl SimRng {
+    /// Seeds the generator, expanding the 64-bit seed via [`SplitMix64`].
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Self {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Next 64-bit value (xoshiro256++ step).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Derives an independent child generator.
+    ///
+    /// The child is seeded from one draw of the parent through a fresh
+    /// SplitMix64 expansion, so parent and child streams do not overlap in
+    /// practice and the derivation is itself deterministic.
+    pub fn split(&mut self) -> SimRng {
+        SimRng::seed_from_u64(self.next_u64())
+    }
+
+    /// Draws a value of type `T` from its canonical distribution: full-range
+    /// integers, `[0, 1)` floats, fair bools.
+    pub fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws uniformly from `range`; accepts `lo..hi` and `lo..=hi` over the
+    /// integer types the simulator uses, plus `lo..hi` over `f64`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.uniform_u64(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// Unbiased uniform draw in `0..n` (Lemire's multiply-shift with
+    /// rejection).
+    fn uniform_u64(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        loop {
+            let x = self.next_u64();
+            let m = u128::from(x) * u128::from(n);
+            let low = m as u64;
+            if low < n {
+                let threshold = n.wrapping_neg() % n;
+                if low < threshold {
+                    continue;
+                }
+            }
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// Types drawable from their canonical distribution via [`SimRng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample(rng: &mut SimRng) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample(rng: &mut SimRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample(rng: &mut SimRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for usize {
+    fn sample(rng: &mut SimRng) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn sample(rng: &mut SimRng) -> Self {
+        // Use the top bit: xoshiro's low bits are its weakest.
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample(rng: &mut SimRng) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges [`SimRng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// Element type produced.
+    type Output;
+    /// Draws uniformly from the range.
+    fn sample(self, rng: &mut SimRng) -> Self::Output;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut SimRng) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.uniform_u64(span) as $t
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(self, rng: &mut SimRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on empty range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.uniform_u64(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u64, u32, usize);
+
+impl SampleRange for std::ops::Range<f64> {
+    type Output = f64;
+    fn sample(self, rng: &mut SimRng) -> f64 {
+        assert!(self.start < self.end, "gen_range on empty f64 range");
+        let u: f64 = rng.gen();
+        self.start + u * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // First output for seed 0, from the reference splitmix64.c.
+        let mut sm = SplitMix64::new(0);
+        let first = sm.next_u64();
+        assert_eq!(
+            first, 0xe220_a839_7b1d_cdaf,
+            "splitmix64(0) mismatch: {first:#x}"
+        );
+    }
+
+    #[test]
+    fn xoshiro_reference_vector() {
+        // xoshiro256++ with state {1,2,3,4}: first outputs of the reference
+        // implementation (prng.di.unimi.it/xoshiro256plusplus.c).
+        let mut rng = SimRng { s: [1, 2, 3, 4] };
+        let got: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![41943041, 58720359, 3588806011781223, 3591011842654386]
+        );
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(99);
+        let mut b = SimRng::seed_from_u64(99);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a: Vec<u64> = {
+            let mut r = SimRng::seed_from_u64(1);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = SimRng::seed_from_u64(2);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn split_streams_are_independent_and_deterministic() {
+        let mut parent1 = SimRng::seed_from_u64(5);
+        let mut parent2 = SimRng::seed_from_u64(5);
+        let mut child1 = parent1.split();
+        let mut child2 = parent2.split();
+        assert_eq!(child1.next_u64(), child2.next_u64());
+        assert_ne!(child1.next_u64(), parent1.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&x));
+            let y = rng.gen_range(0usize..=4);
+            assert!(y <= 4);
+            let f = rng.gen_range(-0.5..0.5f64);
+            assert!((-0.5..0.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_hits_every_value() {
+        let mut rng = SimRng::seed_from_u64(8);
+        let mut seen = [false; 6];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..6)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn uniform_is_roughly_flat() {
+        let mut rng = SimRng::seed_from_u64(21);
+        let mut counts = [0u32; 8];
+        for _ in 0..80_000 {
+            counts[rng.gen_range(0usize..8)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as i64 - 10_000).abs() < 800, "skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval_with_mean_half() {
+        let mut rng = SimRng::seed_from_u64(13);
+        let mut sum = 0.0;
+        for _ in 0..100_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / 100_000.0;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn bool_is_fair() {
+        let mut rng = SimRng::seed_from_u64(17);
+        let trues = (0..100_000).filter(|_| rng.gen::<bool>()).count();
+        assert!((trues as i64 - 50_000).abs() < 1_500, "trues {trues}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<u32>>(),
+            "shuffle left input in order"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        SimRng::seed_from_u64(0).gen_range(5u64..5);
+    }
+}

@@ -175,12 +175,19 @@ pub fn read_binary<R: Read>(r: &mut R) -> Result<Trace, CodecError> {
     for _ in 0..count {
         let mut flags = [0u8; 1];
         r.read_exact(&mut flags)?;
-        let kind = BranchKind::from_code(flags[0] & 0x7).ok_or(CodecError::BadKind(flags[0] & 0x7))?;
+        let kind =
+            BranchKind::from_code(flags[0] & 0x7).ok_or(CodecError::BadKind(flags[0] & 0x7))?;
         let taken = flags[0] & 0x8 != 0;
         let pc = prev_pc.wrapping_add(unzigzag(read_varint(r)?) as u64);
         let target = pc.wrapping_add(unzigzag(read_varint(r)?) as u64);
         let inst_gap = read_varint(r)? as u32;
-        trace.push(BranchRecord { pc, target, kind, taken, inst_gap });
+        trace.push(BranchRecord {
+            pc,
+            target,
+            kind,
+            taken,
+            inst_gap,
+        });
         prev_pc = pc;
     }
     Ok(trace)
@@ -211,14 +218,33 @@ pub fn write_text<W: Write>(w: &mut W, trace: &Trace) -> io::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sim_support::{forall, SimRng};
 
     fn sample_trace() -> Trace {
         let mut t = Trace::new("codec-test");
-        t.push(BranchRecord::taken(0x40_0000, 0x40_1000, BranchKind::DirectCall, 12));
-        t.push(BranchRecord::not_taken(0x40_1004, BranchKind::CondDirect, 2));
-        t.push(BranchRecord::taken(0x40_1010, 0x3f_0000, BranchKind::IndirectJump, 0));
-        t.push(BranchRecord::taken(0x3f_0040, 0x40_0004, BranchKind::Return, 9));
+        t.push(BranchRecord::taken(
+            0x40_0000,
+            0x40_1000,
+            BranchKind::DirectCall,
+            12,
+        ));
+        t.push(BranchRecord::not_taken(
+            0x40_1004,
+            BranchKind::CondDirect,
+            2,
+        ));
+        t.push(BranchRecord::taken(
+            0x40_1010,
+            0x3f_0000,
+            BranchKind::IndirectJump,
+            0,
+        ));
+        t.push(BranchRecord::taken(
+            0x3f_0040,
+            0x40_0004,
+            BranchKind::Return,
+            9,
+        ));
         t
     }
 
@@ -283,26 +309,39 @@ mod tests {
         }
     }
 
-    fn arb_record() -> impl Strategy<Value = BranchRecord> {
-        (any::<u64>(), any::<u64>(), 0u8..6, any::<bool>(), any::<u32>()).prop_map(
-            |(pc, target, kind, taken, inst_gap)| {
-                let kind = BranchKind::from_code(kind).unwrap();
-                // Only conditionals may be not-taken.
-                let taken = taken || !kind.is_conditional();
-                BranchRecord { pc, target, kind, taken, inst_gap }
-            },
-        )
+    fn arb_record(rng: &mut SimRng) -> BranchRecord {
+        let kind = BranchKind::from_code(rng.gen_range(0u32..6) as u8).unwrap();
+        // Only conditionals may be not-taken.
+        let taken = rng.gen::<bool>() || !kind.is_conditional();
+        BranchRecord {
+            pc: rng.gen(),
+            target: rng.gen(),
+            kind,
+            taken,
+            inst_gap: rng.gen(),
+        }
     }
 
-    proptest! {
-        #[test]
-        fn prop_binary_roundtrip(records in proptest::collection::vec(arb_record(), 0..200),
-                                 name in "[a-z0-9_-]{0,24}") {
-            let t = Trace::from_records(name, records);
+    fn arb_name(rng: &mut SimRng) -> String {
+        const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_-";
+        let len = rng.gen_range(0usize..=24);
+        (0..len)
+            .map(|_| ALPHABET[rng.gen_range(0usize..ALPHABET.len())] as char)
+            .collect()
+    }
+
+    #[test]
+    fn prop_binary_roundtrip() {
+        forall!(cases: 64, gen: |rng| {
+            let len = rng.gen_range(0usize..200);
+            let records: Vec<BranchRecord> = (0..len).map(|_| arb_record(rng)).collect();
+            (arb_name(rng), records)
+        }, prop: |(name, records)| {
+            let t = Trace::from_records(name.clone(), records.clone());
             let mut buf = Vec::new();
             write_binary(&mut buf, &t).unwrap();
             let back = read_binary(&mut buf.as_slice()).unwrap();
-            prop_assert_eq!(back, t);
-        }
+            assert_eq!(back, t);
+        });
     }
 }

@@ -50,12 +50,18 @@ pub struct Trace {
 impl Trace {
     /// Creates an empty trace with the given workload name.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), records: Vec::new() }
+        Self {
+            name: name.into(),
+            records: Vec::new(),
+        }
     }
 
     /// Creates a trace from pre-collected records.
     pub fn from_records(name: impl Into<String>, records: Vec<BranchRecord>) -> Self {
-        Self { name: name.into(), records }
+        Self {
+            name: name.into(),
+            records,
+        }
     }
 
     /// The workload name.
@@ -96,10 +102,7 @@ impl Trace {
     /// Total dynamic instruction count implied by the trace: every record is
     /// one branch instruction preceded by `inst_gap` sequential instructions.
     pub fn instruction_count(&self) -> u64 {
-        self.records
-            .iter()
-            .map(|r| 1 + u64::from(r.inst_gap))
-            .sum()
+        self.records.iter().map(|r| 1 + u64::from(r.inst_gap)).sum()
     }
 
     /// Iterates over only the taken-branch records (the BTB access stream).
@@ -121,7 +124,10 @@ impl Extend<BranchRecord> for Trace {
 
 impl FromIterator<BranchRecord> for Trace {
     fn from_iter<T: IntoIterator<Item = BranchRecord>>(iter: T) -> Self {
-        Self { name: String::new(), records: iter.into_iter().collect() }
+        Self {
+            name: String::new(),
+            records: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -92,12 +92,17 @@ impl NextUseOracle {
 mod tests {
     use super::*;
     use crate::{BranchKind, BranchRecord};
-    use proptest::prelude::*;
+    use sim_support::forall;
 
     fn trace_of(pcs: &[u64]) -> Trace {
         let mut t = Trace::new("t");
         for &pc in pcs {
-            t.push(BranchRecord::taken(pc, pc + 0x100, BranchKind::UncondDirect, 0));
+            t.push(BranchRecord::taken(
+                pc,
+                pc + 0x100,
+                BranchKind::UncondDirect,
+                0,
+            ));
         }
         t
     }
@@ -123,17 +128,21 @@ mod tests {
         assert_eq!(o.next_use(3), NEVER);
     }
 
-    proptest! {
-        /// next_use(i) is always the minimal j > i with pcs[j] == pcs[i].
-        #[test]
-        fn prop_next_use_is_minimal(pcs in proptest::collection::vec(0u64..16, 0..64)) {
-            let o = NextUseOracle::build(&trace_of(&pcs));
+    /// next_use(i) is always the minimal j > i with pcs[j] == pcs[i]
+    /// (oracle vs. brute-force forward scan).
+    #[test]
+    fn prop_next_use_is_minimal() {
+        forall!(cases: 64, gen: |rng| {
+            let len = rng.gen_range(0usize..64);
+            (0..len).map(|_| rng.gen_range(0u64..16)).collect::<Vec<u64>>()
+        }, shrink: sim_support::forall::shrink_halves, prop: |pcs| {
+            let o = NextUseOracle::build(&trace_of(pcs));
             for i in 0..o.len() {
                 let expected = (i + 1..o.len())
                     .find(|&j| o.pc(j) == o.pc(i))
                     .map_or(NEVER, |j| j as u64);
-                prop_assert_eq!(o.next_use(i), expected);
+                assert_eq!(o.next_use(i), expected);
             }
-        }
+        });
     }
 }

@@ -124,7 +124,13 @@ impl BranchRecord {
     /// assert!(r.taken);
     /// ```
     pub fn taken(pc: u64, target: u64, kind: BranchKind, inst_gap: u32) -> Self {
-        Self { pc, target, kind, taken: true, inst_gap }
+        Self {
+            pc,
+            target,
+            kind,
+            taken: true,
+            inst_gap,
+        }
     }
 
     /// Creates a not-taken conditional record; the fall-through target is
@@ -135,8 +141,17 @@ impl BranchRecord {
     /// Panics if `kind` is not conditional — only conditional branches can
     /// fall through.
     pub fn not_taken(pc: u64, kind: BranchKind, inst_gap: u32) -> Self {
-        assert!(kind.is_conditional(), "only conditional branches can be not taken");
-        Self { pc, target: pc + 4, kind, taken: false, inst_gap }
+        assert!(
+            kind.is_conditional(),
+            "only conditional branches can be not taken"
+        );
+        Self {
+            pc,
+            target: pc + 4,
+            kind,
+            taken: false,
+            inst_gap,
+        }
     }
 
     /// The fall-through address (the next sequential instruction).
@@ -153,8 +168,9 @@ mod tests {
     fn kind_predicates_are_consistent() {
         for kind in BranchKind::ALL {
             // A branch is at most one of: conditional, call, return.
-            let roles =
-                usize::from(kind.is_conditional()) + usize::from(kind.is_call()) + usize::from(kind.is_return());
+            let roles = usize::from(kind.is_conditional())
+                + usize::from(kind.is_call())
+                + usize::from(kind.is_return());
             assert!(roles <= 1, "{kind:?} plays multiple roles");
         }
         assert!(BranchKind::IndirectCall.is_indirect());

@@ -201,8 +201,18 @@ mod tests {
         t.push(BranchRecord::taken(0x100, 0x200, BranchKind::CondDirect, 5));
         t.push(BranchRecord::not_taken(0x100, BranchKind::CondDirect, 5));
         t.push(BranchRecord::taken(0x100, 0x200, BranchKind::CondDirect, 5));
-        t.push(BranchRecord::taken(0x300, 0x500, BranchKind::IndirectCall, 1));
-        t.push(BranchRecord::taken(0x300, 0x700, BranchKind::IndirectCall, 1));
+        t.push(BranchRecord::taken(
+            0x300,
+            0x500,
+            BranchKind::IndirectCall,
+            1,
+        ));
+        t.push(BranchRecord::taken(
+            0x300,
+            0x700,
+            BranchKind::IndirectCall,
+            1,
+        ));
         t
     }
 
@@ -227,7 +237,10 @@ mod tests {
         assert!((b.bias() - 2.0 / 3.0).abs() < 1e-12);
         let i = &s.branches[&0x300];
         assert_eq!(i.distinct_targets, 2);
-        assert_eq!(i.mean_target_distance(), ((0x500 - 0x300) + (0x700 - 0x300)) as f64 / 2.0);
+        assert_eq!(
+            i.mean_target_distance(),
+            ((0x500 - 0x300) + (0x700 - 0x300)) as f64 / 2.0
+        );
     }
 
     #[test]

@@ -45,7 +45,10 @@ impl CacheLevel {
     /// Panics if the geometry does not divide into whole sets.
     pub fn new(size_bytes: usize, ways: usize) -> Self {
         let blocks = size_bytes / BLOCK_BYTES as usize;
-        assert!(ways > 0 && blocks.is_multiple_of(ways), "invalid cache geometry: {size_bytes}B / {ways} ways");
+        assert!(
+            ways > 0 && blocks.is_multiple_of(ways),
+            "invalid cache geometry: {size_bytes}B / {ways} ways"
+        );
         let sets = blocks / ways;
         Self {
             sets,
@@ -181,7 +184,10 @@ mod tests {
                 h.fetch(b);
             }
         }
-        let mem = blocks.iter().filter(|&&b| h.fetch(b) == HitLevel::Memory).count();
+        let mem = blocks
+            .iter()
+            .filter(|&&b| h.fetch(b) == HitLevel::Memory)
+            .count();
         assert!(mem > 100_000, "memory fetches {mem}");
     }
 

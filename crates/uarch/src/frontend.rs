@@ -21,7 +21,10 @@
 
 use std::collections::HashMap;
 
-use btb_model::{AccessContext, AccessOutcome, Btb, BtbConfig, BtbEntry, BtbInterface, BtbStats, ReplacementPolicy};
+use btb_model::{
+    AccessContext, AccessOutcome, Btb, BtbConfig, BtbEntry, BtbInterface, BtbStats,
+    ReplacementPolicy,
+};
 use btb_trace::{next_use::NEVER, BranchKind, NextUseOracle, Trace};
 
 use crate::cache::{HitLevel, InstrHierarchy, BLOCK_BYTES};
@@ -56,7 +59,11 @@ pub struct FrontendConfig {
 impl FrontendConfig {
     /// The paper's Table 1 configuration with no perfect structures.
     pub fn table1() -> Self {
-        Self { timing: TimingConfig::table1(), btb: BtbConfig::table1(), perfect: PerfectOptions::default() }
+        Self {
+            timing: TimingConfig::table1(),
+            btb: BtbConfig::table1(),
+            perfect: PerfectOptions::default(),
+        }
     }
 }
 
@@ -90,7 +97,10 @@ impl<B: BtbInterface> Frontend<B> {
     /// Creates a frontend around an arbitrary BTB organization (e.g.
     /// Shotgun's partitioned BTB).
     pub fn with_btb(config: FrontendConfig, btb: B) -> Self {
-        config.timing.validate().expect("invalid timing configuration");
+        config
+            .timing
+            .validate()
+            .expect("invalid timing configuration");
         Self {
             config,
             btb,
@@ -127,7 +137,10 @@ impl<B: BtbInterface> Frontend<B> {
     pub fn run(&mut self, trace: &Trace, oracle: Option<&NextUseOracle>) -> SimReport {
         let t = self.config.timing;
         let max_lead = t.max_lead();
-        let mut report = SimReport { workload: trace.name().to_owned(), ..SimReport::default() };
+        let mut report = SimReport {
+            workload: trace.name().to_owned(),
+            ..SimReport::default()
+        };
 
         let mut cycles = 0.0f64;
         let mut lead = 0.0f64; // run-ahead shield, cycles
@@ -197,11 +210,25 @@ impl<B: BtbInterface> Frontend<B> {
                 let outcome = if self.config.perfect.btb {
                     report.btb.accesses += 1;
                     report.btb.hits += 1;
-                    AccessOutcome::Hit { target_matched: true }
+                    AccessOutcome::Hit {
+                        target_matched: true,
+                    }
                 } else {
-                    let hint = self.hints.as_ref().and_then(|h| h.get(&r.pc)).copied().unwrap_or(0);
+                    let hint = self
+                        .hints
+                        .as_ref()
+                        .and_then(|h| h.get(&r.pc))
+                        .copied()
+                        .unwrap_or(0);
                     let next_use = oracle.map_or(NEVER, |o| o.next_use(access_index as usize));
-                    let ctx = AccessContext { pc: r.pc, target: r.target, kind: r.kind, hint, next_use, access_index };
+                    let ctx = AccessContext {
+                        pc: r.pc,
+                        target: r.target,
+                        kind: r.kind,
+                        hint,
+                        next_use,
+                        access_index,
+                    };
                     let mut outcome = self.btb.access(&ctx);
                     if let Some(pf) = self.prefetcher.as_mut() {
                         // A miss served by the prefetcher's staging buffer
@@ -209,12 +236,17 @@ impl<B: BtbInterface> Frontend<B> {
                         // ready at lookup time.
                         if outcome.is_miss() && pf.buffer_hit(r.pc) {
                             report.btb_buffer_hits += 1;
-                            outcome = AccessOutcome::Hit { target_matched: true };
+                            outcome = AccessOutcome::Hit {
+                                target_matched: true,
+                            };
                         }
                         // Prefetched entries carry their true instruction
                         // hint (the hint lives in the branch instruction
                         // bytes, so any fill path sees it).
-                        let mut hinted = HintedBtb { btb: &mut self.btb, hints: self.hints.as_ref() };
+                        let mut hinted = HintedBtb {
+                            btb: &mut self.btb,
+                            hints: self.hints.as_ref(),
+                        };
                         pf.on_branch(r, outcome, &mut hinted);
                     }
                     outcome
@@ -246,7 +278,10 @@ impl<B: BtbInterface> Frontend<B> {
                         }
                     }
                     _ => {
-                        if let AccessOutcome::Hit { target_matched: false } = outcome {
+                        if let AccessOutcome::Hit {
+                            target_matched: false,
+                        } = outcome
+                        {
                             // Stale direct-branch entry (aliasing): treated
                             // as a target flush.
                             target_flush = true;
@@ -335,7 +370,12 @@ mod tests {
         let mut t = Trace::new("loop");
         for _ in 0..rounds {
             for i in 0..n {
-                t.push(BranchRecord::taken(0x10000 + i * 256, 0x10000 + ((i + 1) % n) * 256, BranchKind::UncondDirect, gap));
+                t.push(BranchRecord::taken(
+                    0x10000 + i * 256,
+                    0x10000 + ((i + 1) % n) * 256,
+                    BranchKind::UncondDirect,
+                    gap,
+                ));
             }
         }
         t
@@ -364,7 +404,12 @@ mod tests {
         let mut cfg = FrontendConfig::table1();
         cfg.perfect.btb = true;
         let perfect = Frontend::new(cfg, LruPolicy::new()).run(&trace, None);
-        assert!(perfect.ipc() > base.ipc(), "perfect {:.3} vs base {:.3}", perfect.ipc(), base.ipc());
+        assert!(
+            perfect.ipc() > base.ipc(),
+            "perfect {:.3} vs base {:.3}",
+            perfect.ipc(),
+            base.ipc()
+        );
         assert_eq!(perfect.btb_stall_cycles, 0.0);
         assert_eq!(perfect.btb.misses, 0);
     }
@@ -384,7 +429,8 @@ mod tests {
         let trace = loop_trace(10_000, 8, 3);
         let oracle = NextUseOracle::build(&trace);
         let lru = Frontend::new(FrontendConfig::table1(), LruPolicy::new()).run(&trace, None);
-        let opt = Frontend::new(FrontendConfig::table1(), BeladyOpt::new()).run(&trace, Some(&oracle));
+        let opt =
+            Frontend::new(FrontendConfig::table1(), BeladyOpt::new()).run(&trace, Some(&oracle));
         assert!(
             opt.btb.misses < lru.btb.misses,
             "opt misses {} vs lru {}",
@@ -412,12 +458,21 @@ mod tests {
         // BTB warms up.
         let mut trace = Trace::new("callret");
         for _ in 0..500 {
-            trace.push(BranchRecord::taken(0x1000, 0x2000, BranchKind::DirectCall, 3));
+            trace.push(BranchRecord::taken(
+                0x1000,
+                0x2000,
+                BranchKind::DirectCall,
+                3,
+            ));
             trace.push(BranchRecord::taken(0x2010, 0x1004, BranchKind::Return, 3));
         }
         let r = Frontend::new(FrontendConfig::table1(), LruPolicy::new()).run(&trace, None);
         assert_eq!(r.returns, 500);
-        assert!(r.return_mispredicts <= 1, "ras mispredicts {}", r.return_mispredicts);
+        assert!(
+            r.return_mispredicts <= 1,
+            "ras mispredicts {}",
+            r.return_mispredicts
+        );
     }
 
     #[test]
@@ -425,7 +480,12 @@ mod tests {
         // Unique blocks, one pass: everything cold-misses.
         let mut trace = Trace::new("cold");
         for i in 0..50_000u64 {
-            trace.push(BranchRecord::taken(0x100000 + i * 64, 0x100000 + (i + 1) * 64, BranchKind::UncondDirect, 10));
+            trace.push(BranchRecord::taken(
+                0x100000 + i * 64,
+                0x100000 + (i + 1) * 64,
+                BranchKind::UncondDirect,
+                10,
+            ));
         }
         let r = Frontend::new(FrontendConfig::table1(), LruPolicy::new()).run(&trace, None);
         assert!(r.l1i_misses > 40_000);
@@ -467,8 +527,18 @@ mod tests {
         }
 
         let mut trace = Trace::new("hints");
-        trace.push(BranchRecord::taken(0x100, 0x200, BranchKind::UncondDirect, 1));
-        trace.push(BranchRecord::taken(0x104, 0x300, BranchKind::UncondDirect, 0));
+        trace.push(BranchRecord::taken(
+            0x100,
+            0x200,
+            BranchKind::UncondDirect,
+            1,
+        ));
+        trace.push(BranchRecord::taken(
+            0x104,
+            0x300,
+            BranchKind::UncondDirect,
+            0,
+        ));
         let mut fe = Frontend::new(FrontendConfig::table1(), HintSpy::default());
         fe.set_hints(HashMap::from([(0x100u64, 2u8)]));
         fe.run(&trace, None);

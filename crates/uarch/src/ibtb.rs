@@ -116,7 +116,10 @@ mod tests {
             }
             ibtb.update(0x100, want);
         }
-        assert!(correct as f64 / total as f64 > 0.9, "correct {correct}/{total}");
+        assert!(
+            correct as f64 / total as f64 > 0.9,
+            "correct {correct}/{total}"
+        );
     }
 
     #[test]

@@ -42,12 +42,18 @@ pub struct Confluence {
 impl Confluence {
     /// Creates the prefetcher with the default stream depth (4 blocks).
     pub fn new() -> Self {
-        Self { depth: 4, ..Self::default() }
+        Self {
+            depth: 4,
+            ..Self::default()
+        }
     }
 
     /// Overrides the stream replay depth.
     pub fn with_depth(depth: usize) -> Self {
-        Self { depth, ..Self::default() }
+        Self {
+            depth,
+            ..Self::default()
+        }
     }
 }
 
@@ -75,7 +81,9 @@ impl Prefetcher for Confluence {
         if outcome.is_miss() {
             let mut cur = block;
             for _ in 0..self.depth {
-                let Some(&next) = self.successor.get(&cur) else { break };
+                let Some(&next) = self.successor.get(&cur) else {
+                    break;
+                };
                 if let Some(branches) = self.bundles.get(&next) {
                     for &(pc, target, kind) in branches {
                         if btb.probe(pc).is_none() {
@@ -96,7 +104,12 @@ mod tests {
     use btb_model::{policies::Lru, AccessContext, Btb, BtbConfig};
 
     fn access(btb: &mut Btb<Lru>, pf: &mut Confluence, pc: u64) -> AccessOutcome {
-        let ctx = AccessContext { pc, target: pc + 0x100, kind: BranchKind::UncondDirect, ..Default::default() };
+        let ctx = AccessContext {
+            pc,
+            target: pc + 0x100,
+            kind: BranchKind::UncondDirect,
+            ..Default::default()
+        };
         let outcome = btb.access(&ctx);
         let r = BranchRecord::taken(pc, pc + 0x100, BranchKind::UncondDirect, 0);
         pf.on_branch(&r, outcome, btb);
@@ -127,7 +140,10 @@ mod tests {
         for i in 0..500u64 {
             access(&mut btb, &mut pf, i * BLOCK_BYTES);
         }
-        assert_eq!(pf.issued, 0, "temporal prefetcher must be blind to novel streams");
+        assert_eq!(
+            pf.issued, 0,
+            "temporal prefetcher must be blind to novel streams"
+        );
     }
 
     #[test]

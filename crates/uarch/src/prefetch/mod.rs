@@ -34,7 +34,12 @@ pub trait Prefetcher {
     fn name(&self) -> &'static str;
 
     /// Observes one taken-branch access and may install prefetch fills.
-    fn on_branch(&mut self, record: &BranchRecord, outcome: AccessOutcome, btb: &mut dyn BtbInterface);
+    fn on_branch(
+        &mut self,
+        record: &BranchRecord,
+        outcome: AccessOutcome,
+        btb: &mut dyn BtbInterface,
+    );
 
     /// Consults the prefetcher's side *prefetch buffer* for a branch the
     /// main BTB just missed; returns true (consuming the entry) when the

@@ -17,7 +17,10 @@
 
 use std::collections::HashMap;
 
-use btb_model::{AccessContext, AccessOutcome, Btb, BtbConfig, BtbEntry, BtbInterface, BtbStats, ReplacementPolicy};
+use btb_model::{
+    AccessContext, AccessOutcome, Btb, BtbConfig, BtbEntry, BtbInterface, BtbStats,
+    ReplacementPolicy,
+};
 use btb_trace::BranchKind;
 
 use crate::cache::BLOCK_BYTES;
@@ -72,7 +75,10 @@ impl<P: ReplacementPolicy> ShotgunBtb<P> {
 
     /// Partition sizes `(u_btb, c_btb)` in entries.
     pub fn partition_entries(&self) -> (usize, usize) {
-        (self.ubtb.geometry().entries(), self.cbtb.geometry().entries())
+        (
+            self.ubtb.geometry().entries(),
+            self.cbtb.geometry().entries(),
+        )
     }
 }
 
@@ -158,7 +164,12 @@ mod tests {
     use btb_model::policies::Lru;
 
     fn ctx(pc: u64, target: u64, kind: BranchKind) -> AccessContext {
-        AccessContext { pc, target, kind, ..Default::default() }
+        AccessContext {
+            pc,
+            target,
+            kind,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -191,7 +202,10 @@ mod tests {
         sg.cbtb.clear();
         assert!(sg.cbtb.probe(0x1000).is_none());
         sg.access(&ctx(0x500, 0x1000, BranchKind::UncondDirect));
-        assert!(sg.cbtb.probe(0x1000).is_some(), "region prefetch did not fill the conditional");
+        assert!(
+            sg.cbtb.probe(0x1000).is_some(),
+            "region prefetch did not fill the conditional"
+        );
         assert!(sg.issued > 0);
     }
 

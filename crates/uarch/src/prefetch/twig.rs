@@ -61,7 +61,12 @@ impl TwigPrefetcher {
                 window.remove(0);
             }
         }
-        Self { table, buffer: VecDeque::new(), issued: 0, buffer_hits: 0 }
+        Self {
+            table,
+            buffer: VecDeque::new(),
+            issued: 0,
+            buffer_hits: 0,
+        }
     }
 
     /// Number of learned triggers.
@@ -118,7 +123,12 @@ mod tests {
         let mut t = Trace::new("cyclic");
         for _ in 0..rounds {
             for i in 0..n {
-                t.push(BranchRecord::taken(0x1000 + i * 4, 0x2000, BranchKind::UncondDirect, 0));
+                t.push(BranchRecord::taken(
+                    0x1000 + i * 4,
+                    0x2000,
+                    BranchKind::UncondDirect,
+                    0,
+                ));
             }
         }
         t
@@ -150,7 +160,12 @@ mod tests {
         let mut assisted = Btb::new(config, Lru::new());
         let mut covered = 0u64;
         for r in trace.taken() {
-            let ctx = AccessContext { pc: r.pc, target: r.target, kind: r.kind, ..Default::default() };
+            let ctx = AccessContext {
+                pc: r.pc,
+                target: r.target,
+                kind: r.kind,
+                ..Default::default()
+            };
             let outcome = assisted.access(&ctx);
             if outcome.is_miss() && twig.buffer_hit(r.pc) {
                 covered += 1;
@@ -174,7 +189,12 @@ mod tests {
         let mut twig = TwigPrefetcher::train(&trace, BtbConfig::new(64, 4), 8);
         let mut btb = Btb::new(BtbConfig::new(64, 4), Lru::new());
         for r in trace.taken().take(2000) {
-            let ctx = AccessContext { pc: r.pc, target: r.target, kind: r.kind, ..Default::default() };
+            let ctx = AccessContext {
+                pc: r.pc,
+                target: r.target,
+                kind: r.kind,
+                ..Default::default()
+            };
             let outcome = btb.access(&ctx);
             twig.on_branch(r, outcome, &mut btb);
         }

@@ -19,7 +19,11 @@ impl Ras {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "RAS capacity must be positive");
-        Self { entries: vec![0; capacity], top: 0, depth: 0 }
+        Self {
+            entries: vec![0; capacity],
+            top: 0,
+            depth: 0,
+        }
     }
 
     /// The Table 1 configuration: 32 entries.

@@ -104,7 +104,11 @@ mod tests {
         SimReport {
             instructions,
             cycles,
-            btb: BtbStats { misses: btb_misses, accesses: btb_misses * 2, ..Default::default() },
+            btb: BtbStats {
+                misses: btb_misses,
+                accesses: btb_misses * 2,
+                ..Default::default()
+            },
             ..Default::default()
         }
     }

@@ -81,7 +81,10 @@ impl Tage {
     pub fn new() -> Self {
         Self {
             bimodal: vec![1; 1 << BIMODAL_BITS],
-            tagged: HISTORY_LENGTHS.iter().map(|_| vec![TaggedEntry::default(); 1 << TAGGED_BITS]).collect(),
+            tagged: HISTORY_LENGTHS
+                .iter()
+                .map(|_| vec![TaggedEntry::default(); 1 << TAGGED_BITS])
+                .collect(),
             history: 0,
             alloc_seed: 0x1234_5678_9abc_def0,
             local_hist: vec![0; 1 << LOCAL_HIST_ENTRIES_BITS],
@@ -153,11 +156,21 @@ impl Tage {
             let idx = self.tagged_index(pc, table);
             let e = &self.tagged[table][idx];
             if e.tag == self.tag_of(pc, table) {
-                return Prediction { taken: e.ctr >= 4, provider: Some(table), index: idx, tage_taken: e.ctr >= 4 };
+                return Prediction {
+                    taken: e.ctr >= 4,
+                    provider: Some(table),
+                    index: idx,
+                    tage_taken: e.ctr >= 4,
+                };
             }
         }
         let idx = self.bimodal_index(pc);
-        Prediction { taken: self.bimodal[idx] >= 2, provider: None, index: idx, tage_taken: self.bimodal[idx] >= 2 }
+        Prediction {
+            taken: self.bimodal[idx] >= 2,
+            provider: None,
+            index: idx,
+            tage_taken: self.bimodal[idx] >= 2,
+        }
     }
 
     /// Trains the predictor with the resolved direction and advances the
@@ -178,7 +191,11 @@ impl Tage {
             Some(t) => {
                 let e = &mut self.tagged[t][prediction.index];
                 e.ctr = bump3(e.ctr, taken);
-                e.useful = if correct { (e.useful + 1).min(3) } else { e.useful.saturating_sub(1) };
+                e.useful = if correct {
+                    (e.useful + 1).min(3)
+                } else {
+                    e.useful.saturating_sub(1)
+                };
             }
             None => {
                 let idx = prediction.index;
@@ -189,14 +206,21 @@ impl Tage {
         if !correct {
             let start = prediction.provider.map_or(0, |t| t + 1);
             if start < HISTORY_LENGTHS.len() {
-                self.alloc_seed = self.alloc_seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                self.alloc_seed = self
+                    .alloc_seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1);
                 let mut allocated = false;
                 for t in start..HISTORY_LENGTHS.len() {
                     let idx = self.tagged_index(pc, t);
                     let tag = self.tag_of(pc, t);
                     let e = &mut self.tagged[t][idx];
                     if e.useful == 0 {
-                        *e = TaggedEntry { tag, ctr: if taken { 4 } else { 3 }, useful: 0 };
+                        *e = TaggedEntry {
+                            tag,
+                            ctr: if taken { 4 } else { 3 },
+                            useful: 0,
+                        };
                         allocated = true;
                         break;
                     }
@@ -240,8 +264,7 @@ fn bump3(c: u8, up: bool) -> u8 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use sim_support::SimRng;
 
     fn accuracy(stream: impl Iterator<Item = (u64, bool)>) -> f64 {
         let mut tage = Tage::new();
@@ -280,7 +303,7 @@ mod tests {
 
     #[test]
     fn random_branches_near_chance() {
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = SimRng::seed_from_u64(9);
         let stream: Vec<(u64, bool)> = (0..20_000).map(|_| (0xc00, rng.gen::<bool>())).collect();
         let acc = accuracy(stream.into_iter());
         assert!((0.4..0.6).contains(&acc), "random accuracy {acc}");
@@ -290,7 +313,7 @@ mod tests {
     fn mixed_workload_accuracy_is_high() {
         // A mix resembling our synthetic traces: 70% strongly biased, 20%
         // loops, 10% random.
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = SimRng::seed_from_u64(11);
         let mut stream = Vec::new();
         for i in 0..60_000u64 {
             let class = i % 10;
@@ -307,4 +330,3 @@ mod tests {
         assert!(acc > 0.9, "mixed accuracy {acc}");
     }
 }
-

@@ -101,7 +101,11 @@ mod tests {
 
     #[test]
     fn validation_catches_inverted_latencies() {
-        let t = TimingConfig { l2_latency: 100, llc_latency: 40, ..TimingConfig::table1() };
+        let t = TimingConfig {
+            l2_latency: 100,
+            llc_latency: 40,
+            ..TimingConfig::table1()
+        };
         assert!(t.validate().is_err());
     }
 }

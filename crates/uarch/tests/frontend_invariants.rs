@@ -2,13 +2,17 @@
 
 use btb_model::policies::Lru;
 use btb_model::{AccessOutcome, BtbConfig, BtbInterface};
-use btb_trace::{BranchKind, BranchRecord, Trace};
+use btb_trace::{BranchRecord, Trace};
 use btb_workloads::{AppSpec, InputConfig};
 use uarch_sim::prefetch::{Prefetcher, TwigPrefetcher};
 use uarch_sim::{Frontend, FrontendConfig, PerfectOptions};
 
 fn workload(len: usize) -> Trace {
-    let spec = AppSpec { functions: 300, handlers: 30, ..AppSpec::by_name("kafka").unwrap() };
+    let spec = AppSpec {
+        functions: 300,
+        handlers: 30,
+        ..AppSpec::by_name("kafka").unwrap()
+    };
     spec.generate(InputConfig::input(0), len)
 }
 
@@ -18,7 +22,11 @@ fn cycle_accounting_identity() {
     let trace = workload(60_000);
     let mut fe = Frontend::new(FrontendConfig::table1(), Lru::new());
     let r = fe.run(&trace, None);
-    let base: f64 = trace.records().iter().map(|rec| (1 + rec.inst_gap) as f64 / 6.0).sum();
+    let base: f64 = trace
+        .records()
+        .iter()
+        .map(|rec| (1 + rec.inst_gap) as f64 / 6.0)
+        .sum();
     let accounted = base
         + r.btb_stall_cycles
         + r.direction_stall_cycles
@@ -36,7 +44,11 @@ fn cycle_accounting_identity() {
 fn all_perfect_structures_reach_fetch_bound() {
     let trace = workload(60_000);
     let mut cfg = FrontendConfig::table1();
-    cfg.perfect = PerfectOptions { btb: true, branch_predictor: true, icache: true };
+    cfg.perfect = PerfectOptions {
+        btb: true,
+        branch_predictor: true,
+        icache: true,
+    };
     let r = Frontend::new(cfg, Lru::new()).run(&trace, None);
     // Only target mispredicts (indirects/returns) remain.
     assert_eq!(r.btb_stall_cycles, 0.0);
@@ -44,7 +56,11 @@ fn all_perfect_structures_reach_fetch_bound() {
     assert_eq!(r.icache_stall_cycles, 0.0);
     let bound = 6.0;
     assert!(r.ipc() <= bound + 1e-9);
-    assert!(r.ipc() > 0.5 * bound, "ipc {:.2} far from the fetch bound", r.ipc());
+    assert!(
+        r.ipc() > 0.5 * bound,
+        "ipc {:.2} far from the fetch bound",
+        r.ipc()
+    );
 }
 
 #[test]
@@ -91,18 +107,28 @@ fn buffer_hits_suppress_btb_penalty() {
 
 #[test]
 fn twig_buffer_hits_are_counted_in_reports() {
-    let spec = AppSpec { functions: 600, handlers: 60, ..AppSpec::by_name("kafka").unwrap() };
+    let spec = AppSpec {
+        functions: 600,
+        handlers: 60,
+        ..AppSpec::by_name("kafka").unwrap()
+    };
     let train = spec.generate(InputConfig::input(0), 150_000);
     let test = spec.generate(InputConfig::input(0), 150_000);
     let config = BtbConfig::new(1024, 4);
     let twig = TwigPrefetcher::train(&train, config, 16);
     let mut fe = Frontend::new(
-        FrontendConfig { btb: config, ..FrontendConfig::table1() },
+        FrontendConfig {
+            btb: config,
+            ..FrontendConfig::table1()
+        },
         Lru::new(),
     );
     fe.set_prefetcher(Box::new(twig));
     let r = fe.run(&test, None);
-    assert!(r.btb_buffer_hits > 0, "twig never served a miss from its buffer");
+    assert!(
+        r.btb_buffer_hits > 0,
+        "twig never served a miss from its buffer"
+    );
 }
 
 #[test]
@@ -113,7 +139,10 @@ fn prefetchers_never_change_instruction_count() {
     fe.set_prefetcher(Box::new(uarch_sim::prefetch::Confluence::new()));
     let assisted = fe.run(&trace, None);
     assert_eq!(plain.instructions, assisted.instructions);
-    assert!(assisted.cycles <= plain.cycles * 1.02, "a prefetcher should not slow LRU much here");
+    assert!(
+        assisted.cycles <= plain.cycles * 1.02,
+        "a prefetcher should not slow LRU much here"
+    );
 }
 
 #[test]
@@ -123,9 +152,14 @@ fn ftq_size_bounds_the_icache_shield() {
     let stalls = |ftq: u32| {
         let mut cfg = FrontendConfig::table1();
         cfg.timing.ftq_instructions = ftq;
-        Frontend::new(cfg, Lru::new()).run(&trace, None).icache_stall_cycles
+        Frontend::new(cfg, Lru::new())
+            .run(&trace, None)
+            .icache_stall_cycles
     };
     let tiny = stalls(24);
     let big = stalls(512);
-    assert!(tiny >= big, "tiny FTQ ({tiny}) should expose >= stalls than big ({big})");
+    assert!(
+        tiny >= big,
+        "tiny FTQ ({tiny}) should expose >= stalls than big ({big})"
+    );
 }

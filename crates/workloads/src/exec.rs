@@ -11,8 +11,7 @@
 
 use std::collections::HashMap;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sim_support::SimRng;
 
 use crate::program::{BlockId, FuncId, Program, Terminator};
 use crate::spec::AppSpec;
@@ -80,9 +79,9 @@ pub struct Executor<'p> {
     spec: &'p AppSpec,
     input: InputConfig,
     /// Input-invariant request-arrival stream.
-    driver_rng: StdRng,
+    driver_rng: SimRng,
     /// Input-specific data-dependent stream.
-    rng: StdRng,
+    rng: SimRng,
     handler_zipf: Zipf,
     /// Zipf samplers for indirect sites, cached by fanout.
     fanout_zipf: HashMap<usize, Zipf>,
@@ -101,7 +100,10 @@ impl<'p> Executor<'p> {
     ///
     /// Panics if the program has no handlers.
     pub fn new(program: &'p Program, spec: &'p AppSpec, input: InputConfig) -> Self {
-        assert!(!program.handlers.is_empty(), "program has no request handlers");
+        assert!(
+            !program.handlers.is_empty(),
+            "program has no request handlers"
+        );
         let seed = spec
             .structure_seed
             .wrapping_mul(0x9e37_79b9_7f4a_7c15)
@@ -111,8 +113,8 @@ impl<'p> Executor<'p> {
             program,
             spec,
             input,
-            driver_rng: StdRng::seed_from_u64(driver_seed),
-            rng: StdRng::seed_from_u64(seed),
+            driver_rng: SimRng::seed_from_u64(driver_seed),
+            rng: SimRng::seed_from_u64(seed),
             handler_zipf: Zipf::new(program.handlers.len(), spec.handler_zipf),
             fanout_zipf: HashMap::new(),
             requests: 0,
@@ -151,7 +153,7 @@ impl<'p> Executor<'p> {
         // adjacent ranks (a different request mix with the same hot
         // endpoints, as in production fleets) — the phase schedule itself
         // is input-invariant.
-        let sample_rank = |rng: &mut StdRng, zipf: &Zipf, input: InputConfig| -> usize {
+        let sample_rank = |rng: &mut SimRng, zipf: &Zipf, input: InputConfig| -> usize {
             let mut rank = zipf.sample(rng);
             if input.input_id > 0 && input_swaps_rank(rank, input.input_id) {
                 rank ^= 1;
@@ -169,7 +171,12 @@ impl<'p> Executor<'p> {
         let idx = (rank + self.rotation) % self.program.handlers.len();
         let handler = self.program.handlers[idx];
         let entry = self.program.functions[handler].entry_pc();
-        trace.push(BranchRecord::taken(DRIVER_PC, entry, BranchKind::IndirectCall, 12));
+        trace.push(BranchRecord::taken(
+            DRIVER_PC,
+            entry,
+            BranchKind::IndirectCall,
+            12,
+        ));
 
         self.execute(handler, trace, target, self.spec.request_call_budget);
 
@@ -180,13 +187,23 @@ impl<'p> Executor<'p> {
         while self.rng.gen::<f64>() < walk_budget {
             let cold = self.rng.gen_range(0..self.program.functions.len());
             let entry = self.program.functions[cold].entry_pc();
-            trace.push(BranchRecord::taken(DRIVER_PC + 8, entry, BranchKind::IndirectCall, 4));
+            trace.push(BranchRecord::taken(
+                DRIVER_PC + 8,
+                entry,
+                BranchKind::IndirectCall,
+                4,
+            ));
             self.execute(cold, trace, target, self.spec.cold_walk_budget);
             walk_budget -= 1.0;
         }
 
         // The request loop branches back for the next request.
-        trace.push(BranchRecord::taken(DRIVER_LOOP_PC, DRIVER_PC - 16, BranchKind::CondDirect, 8));
+        trace.push(BranchRecord::taken(
+            DRIVER_LOOP_PC,
+            DRIVER_PC - 16,
+            BranchKind::CondDirect,
+            8,
+        ));
     }
 
     /// Resolves a conditional outcome. Most sites (85%, chosen statically
@@ -219,7 +236,9 @@ impl<'p> Executor<'p> {
     }
 
     fn fanout_sampler(&mut self, n: usize) -> &Zipf {
-        self.fanout_zipf.entry(n).or_insert_with(|| Zipf::new(n, 1.0))
+        self.fanout_zipf
+            .entry(n)
+            .or_insert_with(|| Zipf::new(n, 1.0))
     }
 
     fn execute(&mut self, handler: FuncId, trace: &mut Trace, target: usize, call_budget: usize) {
@@ -258,7 +277,17 @@ impl<'p> Executor<'p> {
                     let callee = *callee;
                     calls += 1;
                     let descend = calls <= call_budget;
-                    cur = self.do_call(pc, gap, f, b, callee, BranchKind::DirectCall, descend, &mut stack, trace);
+                    cur = self.do_call(
+                        pc,
+                        gap,
+                        f,
+                        b,
+                        callee,
+                        BranchKind::DirectCall,
+                        descend,
+                        &mut stack,
+                        trace,
+                    );
                 }
                 Terminator::IndirectCall { callees } => {
                     let u: f64 = self.rng.gen();
@@ -266,7 +295,17 @@ impl<'p> Executor<'p> {
                     let callee = callees[pick];
                     calls += 1;
                     let descend = calls <= call_budget;
-                    cur = self.do_call(pc, gap, f, b, callee, BranchKind::IndirectCall, descend, &mut stack, trace);
+                    cur = self.do_call(
+                        pc,
+                        gap,
+                        f,
+                        b,
+                        callee,
+                        BranchKind::IndirectCall,
+                        descend,
+                        &mut stack,
+                        trace,
+                    );
                 }
                 Terminator::IndirectJump { targets } => {
                     let u: f64 = self.rng.gen();
@@ -285,7 +324,12 @@ impl<'p> Executor<'p> {
                         }
                         None => {
                             // Handler done: return to the driver.
-                            trace.push(BranchRecord::taken(pc, DRIVER_PC + 4, BranchKind::Return, gap));
+                            trace.push(BranchRecord::taken(
+                                pc,
+                                DRIVER_PC + 4,
+                                BranchKind::Return,
+                                gap,
+                            ));
                             return;
                         }
                     }
@@ -317,9 +361,17 @@ impl<'p> Executor<'p> {
             (callee, 0)
         } else {
             // Elide the callee body: emit its return immediately.
-            let last = self.program.functions[callee].blocks.last().expect("non-empty function");
+            let last = self.program.functions[callee]
+                .blocks
+                .last()
+                .expect("non-empty function");
             let ret_target = self.block_start(f, b + 1);
-            trace.push(BranchRecord::taken(last.pc, ret_target, BranchKind::Return, last.inst_gap));
+            trace.push(BranchRecord::taken(
+                last.pc,
+                ret_target,
+                BranchKind::Return,
+                last.inst_gap,
+            ));
             (f, b + 1)
         }
     }
@@ -331,7 +383,11 @@ mod tests {
     use btb_trace::TraceStats;
 
     fn small_spec() -> AppSpec {
-        AppSpec { functions: 200, handlers: 20, ..AppSpec::by_name("kafka").unwrap() }
+        AppSpec {
+            functions: 200,
+            handlers: 20,
+            ..AppSpec::by_name("kafka").unwrap()
+        }
     }
 
     fn gen(records: usize, input: u32) -> Trace {
@@ -376,7 +432,11 @@ mod tests {
     fn branch_kinds_are_mixed() {
         let t = gen(20_000, 0);
         let s = TraceStats::collect(&t);
-        for kind in [BranchKind::CondDirect, BranchKind::DirectCall, BranchKind::Return] {
+        for kind in [
+            BranchKind::CondDirect,
+            BranchKind::DirectCall,
+            BranchKind::Return,
+        ] {
             assert!(s.kind_fraction(kind) > 0.02, "{kind} underrepresented");
         }
         assert!(s.kind_fraction(BranchKind::CondDirect) > 0.3);
@@ -385,9 +445,20 @@ mod tests {
     #[test]
     fn conditionals_go_both_ways() {
         let t = gen(20_000, 0);
-        let taken = t.records().iter().filter(|r| r.kind.is_conditional() && r.taken).count();
-        let not_taken = t.records().iter().filter(|r| r.kind.is_conditional() && !r.taken).count();
-        assert!(taken > 500 && not_taken > 500, "taken {taken}, not taken {not_taken}");
+        let taken = t
+            .records()
+            .iter()
+            .filter(|r| r.kind.is_conditional() && r.taken)
+            .count();
+        let not_taken = t
+            .records()
+            .iter()
+            .filter(|r| r.kind.is_conditional() && !r.taken)
+            .count();
+        assert!(
+            taken > 500 && not_taken > 500,
+            "taken {taken}, not taken {not_taken}"
+        );
     }
 
     #[test]

@@ -78,7 +78,10 @@ impl Function {
     ///
     /// Panics if the function has no blocks.
     pub fn entry_pc(&self) -> u64 {
-        let first = self.blocks.first().expect("function has at least one block");
+        let first = self
+            .blocks
+            .first()
+            .expect("function has at least one block");
         first.pc - u64::from(first.inst_gap) * 4
     }
 }
@@ -112,7 +115,10 @@ pub struct ProgramStats {
 impl Program {
     /// Computes structural statistics.
     pub fn stats(&self) -> ProgramStats {
-        let mut s = ProgramStats { functions: self.functions.len(), ..Default::default() };
+        let mut s = ProgramStats {
+            functions: self.functions.len(),
+            ..Default::default()
+        };
         for f in &self.functions {
             for (i, b) in f.blocks.iter().enumerate() {
                 s.blocks += 1;
@@ -146,7 +152,10 @@ impl Program {
             if f.blocks.is_empty() {
                 return Err(format!("function {fi} has no blocks"));
             }
-            if !matches!(f.blocks.last().expect("non-empty").terminator, Terminator::Return) {
+            if !matches!(
+                f.blocks.last().expect("non-empty").terminator,
+                Terminator::Return
+            ) {
                 return Err(format!("function {fi} does not end with a return"));
             }
             for (bi, b) in f.blocks.iter().enumerate() {
@@ -168,7 +177,9 @@ impl Program {
                     Terminator::Cond { taken_target, bias } => {
                         check_block(*taken_target)?;
                         if !(0.0..=1.0).contains(bias) {
-                            return Err(format!("function {fi} block {bi}: bias {bias} out of range"));
+                            return Err(format!(
+                                "function {fi} block {bi}: bias {bias} out of range"
+                            ));
                         }
                         if bi + 1 >= f.blocks.len() {
                             return Err(format!(
@@ -221,14 +232,22 @@ mod tests {
 
     fn leaf(pc: u64) -> Function {
         Function {
-            blocks: vec![Block { pc, inst_gap: 2, terminator: Terminator::Return }],
+            blocks: vec![Block {
+                pc,
+                inst_gap: 2,
+                terminator: Terminator::Return,
+            }],
         }
     }
 
     #[test]
     fn entry_pc_accounts_for_gap() {
         let f = Function {
-            blocks: vec![Block { pc: 0x120, inst_gap: 8, terminator: Terminator::Return }],
+            blocks: vec![Block {
+                pc: 0x120,
+                inst_gap: 8,
+                terminator: Terminator::Return,
+            }],
         };
         assert_eq!(f.entry_pc(), 0x120 - 32);
     }
@@ -239,13 +258,24 @@ mod tests {
             functions: vec![
                 Function {
                     blocks: vec![
-                        Block { pc: 0x10, inst_gap: 1, terminator: Terminator::Call { callee: 1 } },
+                        Block {
+                            pc: 0x10,
+                            inst_gap: 1,
+                            terminator: Terminator::Call { callee: 1 },
+                        },
                         Block {
                             pc: 0x20,
                             inst_gap: 1,
-                            terminator: Terminator::Cond { taken_target: 0, bias: 0.5 },
+                            terminator: Terminator::Cond {
+                                taken_target: 0,
+                                bias: 0.5,
+                            },
                         },
-                        Block { pc: 0x30, inst_gap: 1, terminator: Terminator::Return },
+                        Block {
+                            pc: 0x30,
+                            inst_gap: 1,
+                            terminator: Terminator::Return,
+                        },
                     ],
                 },
                 leaf(0x100),
@@ -264,14 +294,20 @@ mod tests {
     #[test]
     fn validate_rejects_non_dag_call() {
         let p = Program {
-            functions: vec![
-                Function {
-                    blocks: vec![
-                        Block { pc: 0x10, inst_gap: 0, terminator: Terminator::Call { callee: 0 } },
-                        Block { pc: 0x14, inst_gap: 0, terminator: Terminator::Return },
-                    ],
-                },
-            ],
+            functions: vec![Function {
+                blocks: vec![
+                    Block {
+                        pc: 0x10,
+                        inst_gap: 0,
+                        terminator: Terminator::Call { callee: 0 },
+                    },
+                    Block {
+                        pc: 0x14,
+                        inst_gap: 0,
+                        terminator: Terminator::Return,
+                    },
+                ],
+            }],
             handlers: vec![],
         };
         assert!(p.validate().unwrap_err().contains("DAG"));
@@ -281,7 +317,11 @@ mod tests {
     fn validate_rejects_missing_return() {
         let p = Program {
             functions: vec![Function {
-                blocks: vec![Block { pc: 0x10, inst_gap: 0, terminator: Terminator::Jump { target: 0 } }],
+                blocks: vec![Block {
+                    pc: 0x10,
+                    inst_gap: 0,
+                    terminator: Terminator::Jump { target: 0 },
+                }],
             }],
             handlers: vec![],
         };
@@ -293,8 +333,16 @@ mod tests {
         let p = Program {
             functions: vec![Function {
                 blocks: vec![
-                    Block { pc: 0x10, inst_gap: 0, terminator: Terminator::Jump { target: 7 } },
-                    Block { pc: 0x14, inst_gap: 0, terminator: Terminator::Return },
+                    Block {
+                        pc: 0x10,
+                        inst_gap: 0,
+                        terminator: Terminator::Jump { target: 7 },
+                    },
+                    Block {
+                        pc: 0x14,
+                        inst_gap: 0,
+                        terminator: Terminator::Return,
+                    },
                 ],
             }],
             handlers: vec![],

@@ -9,8 +9,7 @@
 //! are "hot" and cover ≈90% of accesses, Figs. 6–7), phase-driven transient
 //! variance (Fig. 5), and verilator's outsized code footprint (Fig. 3).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sim_support::SimRng;
 
 use crate::exec::{Executor, InputConfig};
 use crate::program::{Block, Function, Program, Terminator};
@@ -133,14 +132,23 @@ impl AppSpec {
     pub fn all() -> Vec<AppSpec> {
         vec![
             AppSpec::base("cassandra", 4400, 540),
-            AppSpec { mean_block_insts: 5, ..AppSpec::base("clang", 5200, 640) },
+            AppSpec {
+                mean_block_insts: 5,
+                ..AppSpec::base("clang", 5200, 640)
+            },
             AppSpec::base("drupal", 4800, 600),
             AppSpec::base("finagle-chirper", 2500, 340),
             AppSpec::base("finagle-http", 2000, 270),
             AppSpec::base("kafka", 3700, 470),
             AppSpec::base("mediawiki", 4300, 540),
-            AppSpec { loop_fraction: 0.28, ..AppSpec::base("mysql", 3900, 480) },
-            AppSpec { loop_fraction: 0.26, ..AppSpec::base("postgresql", 3200, 400) },
+            AppSpec {
+                loop_fraction: 0.28,
+                ..AppSpec::base("mysql", 3900, 480)
+            },
+            AppSpec {
+                loop_fraction: 0.26,
+                ..AppSpec::base("postgresql", 3200, 400)
+            },
             // Interpreters dispatch indirectly on every bytecode.
             AppSpec {
                 indirect_fraction: 0.25,
@@ -172,7 +180,7 @@ impl AppSpec {
 
     /// Builds the static program deterministically from the spec.
     pub fn build_program(&self) -> Program {
-        let mut rng = StdRng::seed_from_u64(self.structure_seed);
+        let mut rng = SimRng::seed_from_u64(self.structure_seed);
         let n = self.functions;
         let mut functions = Vec::with_capacity(n);
         let mut cursor: u64 = 0x0040_0000; // text section base
@@ -215,12 +223,22 @@ impl AppSpec {
             .map(|i| i * span / self.handlers.max(1))
             .collect();
 
-        let program = Program { functions, handlers };
+        let program = Program {
+            functions,
+            handlers,
+        };
         debug_assert_eq!(program.validate(), Ok(()));
         program
     }
 
-    fn pick_terminator(&self, rng: &mut StdRng, fi: usize, bi: usize, nb: usize, n: usize) -> Terminator {
+    fn pick_terminator(
+        &self,
+        rng: &mut SimRng,
+        fi: usize,
+        bi: usize,
+        nb: usize,
+        n: usize,
+    ) -> Terminator {
         let callee_lo = fi + 1;
         // Callees live in a window above the caller: keeps call chains deep
         // enough to be interesting but bounded in expectation.
@@ -231,11 +249,13 @@ impl AppSpec {
         // The shared library pool sits at the top of the index space (so
         // any function may call into it without breaking the DAG). Hotness
         // within the pool follows a Zipf-ish quadratic skew.
-        let lib_size = ((n as f64 * self.shared_lib_size_fraction) as usize).max(8).min(n / 2);
+        let lib_size = ((n as f64 * self.shared_lib_size_fraction) as usize)
+            .max(8)
+            .min(n / 2);
         let lib_lo = n - lib_size;
 
         if can_call && r < self.call_fraction {
-            let pick_callee = |rng: &mut StdRng| -> usize {
+            let pick_callee = |rng: &mut SimRng| -> usize {
                 if fi + 1 < lib_lo && rng.gen::<f64>() < self.shared_lib_call_fraction {
                     // Skewed pick inside the library pool.
                     let u: f64 = rng.gen();
@@ -249,7 +269,9 @@ impl AppSpec {
                 let callees = (0..fanout).map(|_| pick_callee(rng)).collect();
                 return Terminator::IndirectCall { callees };
             }
-            return Terminator::Call { callee: pick_callee(rng) };
+            return Terminator::Call {
+                callee: pick_callee(rng),
+            };
         }
         if r < self.call_fraction + 0.04 && nb > 2 {
             if rng.gen::<f64>() < self.indirect_fraction {
@@ -261,7 +283,9 @@ impl AppSpec {
                 let targets = (0..fanout).map(|_| rng.gen_range(bi + 1..nb)).collect();
                 return Terminator::IndirectJump { targets };
             }
-            return Terminator::Jump { target: rng.gen_range(bi + 1..nb) };
+            return Terminator::Jump {
+                target: rng.gen_range(bi + 1..nb),
+            };
         }
 
         // Conditional: loop back-edge or forward branch. Biases are
@@ -286,7 +310,10 @@ impl AppSpec {
             } else {
                 rng.gen_range(0.3..0.7)
             };
-            Terminator::Cond { taken_target, bias: quantize(bias) }
+            Terminator::Cond {
+                taken_target,
+                bias: quantize(bias),
+            }
         }
     }
 
@@ -307,7 +334,7 @@ impl AppSpec {
     }
 }
 
-fn sample_gap(rng: &mut StdRng, mean: u32) -> u32 {
+fn sample_gap(rng: &mut SimRng, mean: u32) -> u32 {
     // Geometric distribution with the requested mean, capped for sanity.
     let p = 1.0 / f64::from(mean.max(1));
     let u: f64 = rng.gen_range(f64::EPSILON..1.0);
@@ -324,8 +351,19 @@ mod tests {
         let names: Vec<String> = AppSpec::all().into_iter().map(|s| s.name).collect();
         assert_eq!(names.len(), 13);
         for expected in [
-            "cassandra", "clang", "drupal", "finagle-chirper", "finagle-http", "kafka",
-            "mediawiki", "mysql", "postgresql", "python", "tomcat", "verilator", "wordpress",
+            "cassandra",
+            "clang",
+            "drupal",
+            "finagle-chirper",
+            "finagle-http",
+            "kafka",
+            "mediawiki",
+            "mysql",
+            "postgresql",
+            "python",
+            "tomcat",
+            "verilator",
+            "wordpress",
         ] {
             assert!(names.iter().any(|n| n == expected), "missing {expected}");
         }
@@ -349,12 +387,24 @@ mod tests {
 
     #[test]
     fn footprints_are_ordered_as_calibrated() {
-        let blocks = |name: &str| AppSpec::by_name(name).unwrap().build_program().stats().blocks;
+        let blocks = |name: &str| {
+            AppSpec::by_name(name)
+                .unwrap()
+                .build_program()
+                .stats()
+                .blocks
+        };
         let verilator = blocks("verilator");
         let clang = blocks("clang");
         let finagle = blocks("finagle-http");
-        assert!(verilator > 2 * clang, "verilator {verilator} vs clang {clang}");
-        assert!(clang > 2 * finagle, "clang {clang} vs finagle-http {finagle}");
+        assert!(
+            verilator > 2 * clang,
+            "verilator {verilator} vs clang {clang}"
+        );
+        assert!(
+            clang > 2 * finagle,
+            "clang {clang} vs finagle-http {finagle}"
+        );
         // All apps exceed the 8K-entry BTB (the paper's central premise).
         for spec in AppSpec::all() {
             let b = spec.build_program().stats().blocks;
@@ -369,7 +419,10 @@ mod tests {
         let kafka = stats("kafka");
         let py_frac = py.indirects as f64 / py.blocks as f64;
         let kafka_frac = kafka.indirects as f64 / kafka.blocks as f64;
-        assert!(py_frac > 2.0 * kafka_frac, "python {py_frac:.3} vs kafka {kafka_frac:.3}");
+        assert!(
+            py_frac > 2.0 * kafka_frac,
+            "python {py_frac:.3} vs kafka {kafka_frac:.3}"
+        );
     }
 
     #[test]

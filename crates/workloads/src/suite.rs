@@ -125,17 +125,27 @@ mod tests {
         // With enough traces, some must fit comfortably in 8K entries and
         // some must exceed it.
         let traces = cbp5_suite(SuiteParams::new(12, 30_000));
-        let footprints: Vec<usize> =
-            traces.iter().map(|t| TraceStats::collect(t).unique_taken_branches()).collect();
-        assert!(footprints.iter().any(|&f| f < 4096), "no small trace: {footprints:?}");
-        assert!(footprints.iter().any(|&f| f > 8192), "no large trace: {footprints:?}");
+        let footprints: Vec<usize> = traces
+            .iter()
+            .map(|t| TraceStats::collect(t).unique_taken_branches())
+            .collect();
+        assert!(
+            footprints.iter().any(|&f| f < 4096),
+            "no small trace: {footprints:?}"
+        );
+        assert!(
+            footprints.iter().any(|&f| f > 8192),
+            "no large trace: {footprints:?}"
+        );
     }
 
     #[test]
     fn ipc1_mostly_small_with_heavy_tail() {
         let traces = ipc1_suite(SuiteParams::new(10, 20_000));
-        let footprints: Vec<usize> =
-            traces.iter().map(|t| TraceStats::collect(t).unique_taken_branches()).collect();
+        let footprints: Vec<usize> = traces
+            .iter()
+            .map(|t| TraceStats::collect(t).unique_taken_branches())
+            .collect();
         let small = footprints.iter().filter(|&&f| f < 8192).count();
         assert!(small >= 5, "expected mostly small traces: {footprints:?}");
     }

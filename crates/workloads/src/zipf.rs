@@ -5,7 +5,7 @@
 //! in-crate (rather than pulling `rand_distr`) per DESIGN.md's minimal
 //! dependency policy.
 
-use rand::Rng;
+use sim_support::SimRng;
 
 /// Samples ranks `0..n` with probability proportional to `1 / (rank+1)^s`.
 #[derive(Clone, Debug)]
@@ -22,7 +22,10 @@ impl Zipf {
     /// Panics if `n == 0` or `s` is negative or non-finite.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "zipf needs at least one rank");
-        assert!(s >= 0.0 && s.is_finite(), "zipf exponent must be finite and non-negative");
+        assert!(
+            s >= 0.0 && s.is_finite(),
+            "zipf exponent must be finite and non-negative"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut total = 0.0;
         for rank in 0..n {
@@ -46,7 +49,7 @@ impl Zipf {
     }
 
     /// Draws one rank in `0..len()`.
-    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
         self.sample_u(rng.gen())
     }
 
@@ -55,45 +58,53 @@ impl Zipf {
     /// conflicts.
     pub fn sample_u(&self, u: f64) -> usize {
         // partition_point returns the first index with cdf > u.
-        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+        self.cdf
+            .partition_point(|&c| c <= u)
+            .min(self.cdf.len() - 1)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn rank_zero_dominates_with_high_skew() {
         let z = Zipf::new(100, 1.2);
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = SimRng::seed_from_u64(1);
         let mut counts = vec![0usize; 100];
         for _ in 0..20_000 {
             counts[z.sample(&mut rng)] += 1;
         }
-        assert!(counts[0] > counts[10] * 5, "rank 0 ({}) vs rank 10 ({})", counts[0], counts[10]);
+        assert!(
+            counts[0] > counts[10] * 5,
+            "rank 0 ({}) vs rank 10 ({})",
+            counts[0],
+            counts[10]
+        );
         assert!(counts[0] > 2_000);
     }
 
     #[test]
     fn zero_exponent_is_uniform() {
         let z = Zipf::new(4, 0.0);
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = SimRng::seed_from_u64(2);
         let mut counts = vec![0usize; 4];
         for _ in 0..40_000 {
             counts[z.sample(&mut rng)] += 1;
         }
         for &c in &counts {
-            assert!((c as i64 - 10_000).abs() < 1_000, "uniform draw skewed: {counts:?}");
+            assert!(
+                (c as i64 - 10_000).abs() < 1_000,
+                "uniform draw skewed: {counts:?}"
+            );
         }
     }
 
     #[test]
     fn samples_stay_in_range() {
         let z = Zipf::new(3, 2.0);
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = SimRng::seed_from_u64(3);
         for _ in 0..1000 {
             assert!(z.sample(&mut rng) < 3);
         }

@@ -1,73 +1,65 @@
 //! Property-based tests of the workload generator: any reasonable spec
 //! must produce structurally valid programs and well-formed traces.
 
-use proptest::prelude::*;
-
 use btb_trace::{BranchKind, TraceStats};
 use btb_workloads::program::Terminator;
 use btb_workloads::{AppSpec, InputConfig};
+use sim_support::{forall, SimRng};
 
-fn arb_spec() -> impl Strategy<Value = AppSpec> {
-    (
-        60usize..400,         // functions
-        2usize..20,           // handlers
-        (3usize..6, 8usize..16), // blocks per func range
-        1u32..12,             // mean block insts
-        0.0f64..0.5,          // loop fraction
-        0.0f64..0.4,          // call fraction
-        0.0f64..0.3,          // indirect fraction
-        0.0f64..1.2,          // handler zipf
-        0.0f64..1.5,          // cold walk probability
-    )
-        .prop_map(
-            |(functions, handlers, blocks, gap, loops, calls, indirect, zipf, cold)| AppSpec {
-                functions,
-                handlers,
-                blocks_per_func: blocks,
-                mean_block_insts: gap,
-                loop_fraction: loops,
-                call_fraction: calls,
-                indirect_fraction: indirect,
-                handler_zipf: zipf,
-                cold_walk_probability: cold,
-                ..AppSpec::base_public("prop", functions, handlers)
-            },
-        )
+fn arb_spec(rng: &mut SimRng) -> AppSpec {
+    let functions = rng.gen_range(60usize..400);
+    let handlers = rng.gen_range(2usize..20);
+    AppSpec {
+        functions,
+        handlers,
+        blocks_per_func: (rng.gen_range(3usize..6), rng.gen_range(8usize..16)),
+        mean_block_insts: rng.gen_range(1u32..12),
+        loop_fraction: rng.gen_range(0.0f64..0.5),
+        call_fraction: rng.gen_range(0.0f64..0.4),
+        indirect_fraction: rng.gen_range(0.0f64..0.3),
+        handler_zipf: rng.gen_range(0.0f64..1.2),
+        cold_walk_probability: rng.gen_range(0.0f64..1.5),
+        ..AppSpec::base_public("prop", functions, handlers)
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Every generated program passes structural validation.
-    #[test]
-    fn programs_always_validate(spec in arb_spec()) {
+/// Every generated program passes structural validation.
+#[test]
+fn programs_always_validate() {
+    forall!(cases: 24, gen: arb_spec, prop: |spec| {
         let program = spec.build_program();
-        prop_assert_eq!(program.validate(), Ok(()));
-        prop_assert!(!program.handlers.is_empty());
-    }
+        assert_eq!(program.validate(), Ok(()));
+        assert!(!program.handlers.is_empty());
+    });
+}
 
-    /// Traces hit the requested record count exactly and stay well-formed.
-    #[test]
-    fn traces_are_well_formed(spec in arb_spec(), len in 500usize..4000, input in 0u32..4) {
-        let trace = spec.generate(InputConfig::input(input), len);
-        prop_assert_eq!(trace.len(), len);
+/// Traces hit the requested record count exactly and stay well-formed.
+#[test]
+fn traces_are_well_formed() {
+    forall!(cases: 24, gen: |rng| {
+        (arb_spec(rng), rng.gen_range(500usize..4000), rng.gen_range(0u32..4))
+    }, prop: |(spec, len, input)| {
+        let trace = spec.generate(InputConfig::input(*input), *len);
+        assert_eq!(trace.len(), *len);
         for r in trace.records() {
             if !r.taken {
-                prop_assert!(r.kind.is_conditional(), "{:?} emitted not-taken", r.kind);
+                assert!(r.kind.is_conditional(), "{:?} emitted not-taken", r.kind);
             }
             if r.taken {
-                prop_assert_ne!(r.target, 0, "taken branch with null target");
+                assert_ne!(r.target, 0, "taken branch with null target");
             }
         }
-    }
+    });
+}
 
-    /// The same (spec, input, len) always regenerates the identical trace.
-    #[test]
-    fn generation_is_deterministic(spec in arb_spec(), input in 0u32..3) {
-        let a = spec.generate(InputConfig::input(input), 1200);
-        let b = spec.generate(InputConfig::input(input), 1200);
-        prop_assert_eq!(a.records(), b.records());
-    }
+/// The same (spec, input, len) always regenerates the identical trace.
+#[test]
+fn generation_is_deterministic() {
+    forall!(cases: 24, gen: |rng| (arb_spec(rng), rng.gen_range(0u32..3)), prop: |(spec, input)| {
+        let a = spec.generate(InputConfig::input(*input), 1200);
+        let b = spec.generate(InputConfig::input(*input), 1200);
+        assert_eq!(a.records(), b.records());
+    });
 }
 
 #[test]
@@ -77,9 +69,15 @@ fn terminators_respect_dag_in_every_app() {
         for (fi, f) in program.functions.iter().enumerate() {
             for b in &f.blocks {
                 match &b.terminator {
-                    Terminator::Call { callee } => assert!(*callee > fi, "{}: call breaks DAG", spec.name),
+                    Terminator::Call { callee } => {
+                        assert!(*callee > fi, "{}: call breaks DAG", spec.name)
+                    }
                     Terminator::IndirectCall { callees } => {
-                        assert!(callees.iter().all(|&c| c > fi), "{}: icall breaks DAG", spec.name)
+                        assert!(
+                            callees.iter().all(|&c| c > fi),
+                            "{}: icall breaks DAG",
+                            spec.name
+                        )
                     }
                     _ => {}
                 }
@@ -92,7 +90,11 @@ fn terminators_respect_dag_in_every_app() {
 fn taken_targets_are_block_starts_within_function_control_flow() {
     // For direct jumps the recorded target must equal a block start
     // (pc - gap*4 of some block) of the same program.
-    let spec = AppSpec { functions: 150, handlers: 12, ..AppSpec::by_name("kafka").unwrap() };
+    let spec = AppSpec {
+        functions: 150,
+        handlers: 12,
+        ..AppSpec::by_name("kafka").unwrap()
+    };
     let program = spec.build_program();
     let mut starts = std::collections::HashSet::new();
     for f in &program.functions {
@@ -103,19 +105,35 @@ fn taken_targets_are_block_starts_within_function_control_flow() {
     let trace = spec.generate(InputConfig::input(0), 20_000);
     for r in trace.records() {
         if r.taken && r.kind == BranchKind::UncondDirect {
-            assert!(starts.contains(&r.target), "jump target {:#x} is not a block start", r.target);
+            assert!(
+                starts.contains(&r.target),
+                "jump target {:#x} is not a block start",
+                r.target
+            );
         }
     }
 }
 
 #[test]
 fn cold_walks_add_unique_traffic() {
-    let base = AppSpec { functions: 400, handlers: 40, ..AppSpec::by_name("kafka").unwrap() };
-    let without = AppSpec { cold_walk_probability: 0.0, ..base.clone() };
-    let with = AppSpec { cold_walk_probability: 1.2, ..base };
+    let base = AppSpec {
+        functions: 400,
+        handlers: 40,
+        ..AppSpec::by_name("kafka").unwrap()
+    };
+    let without = AppSpec {
+        cold_walk_probability: 0.0,
+        ..base.clone()
+    };
+    let with = AppSpec {
+        cold_walk_probability: 1.2,
+        ..base
+    };
     let len = 60_000;
-    let f_without = TraceStats::collect(&without.generate(InputConfig::input(0), len)).unique_taken_branches();
-    let f_with = TraceStats::collect(&with.generate(InputConfig::input(0), len)).unique_taken_branches();
+    let f_without =
+        TraceStats::collect(&without.generate(InputConfig::input(0), len)).unique_taken_branches();
+    let f_with =
+        TraceStats::collect(&with.generate(InputConfig::input(0), len)).unique_taken_branches();
     assert!(
         f_with > f_without,
         "cold walks should widen the footprint: {f_with} vs {f_without}"
@@ -125,9 +143,16 @@ fn cold_walks_add_unique_traffic() {
 #[test]
 fn handler_zipf_skews_dispatch() {
     // Higher zipf exponent concentrates requests on fewer handlers.
-    let base = AppSpec { functions: 400, handlers: 64, ..AppSpec::by_name("kafka").unwrap() };
+    let base = AppSpec {
+        functions: 400,
+        handlers: 64,
+        ..AppSpec::by_name("kafka").unwrap()
+    };
     let concentration = |zipf: f64| {
-        let spec = AppSpec { handler_zipf: zipf, ..base.clone() };
+        let spec = AppSpec {
+            handler_zipf: zipf,
+            ..base.clone()
+        };
         let trace = spec.generate(InputConfig::input(0), 40_000);
         // Count dispatches per handler entry (driver indirect call target).
         let mut counts = std::collections::HashMap::new();
@@ -138,5 +163,8 @@ fn handler_zipf_skews_dispatch() {
         let max = counts.values().copied().max().unwrap_or(0);
         max as f64 / total as f64
     };
-    assert!(concentration(1.2) > concentration(0.1), "zipf did not concentrate dispatch");
+    assert!(
+        concentration(1.2) > concentration(0.1),
+        "zipf did not concentrate dispatch"
+    );
 }

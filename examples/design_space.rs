@@ -22,7 +22,8 @@ fn main() {
     println!("== BTB size sweep (4-way, paper thresholds) ==");
     println!("entries   LRU MPKI   Therm MPKI   OPT MPKI   Therm speedup");
     for entries in [1024usize, 2048, 4096, 8192, 16384] {
-        let pipeline = Pipeline::new(PipelineConfig::default()).with_btb(BtbConfig::new(entries, 4));
+        let pipeline =
+            Pipeline::new(PipelineConfig::default()).with_btb(BtbConfig::new(entries, 4));
         let hints = pipeline.profile_to_hints(&train);
         let lru = pipeline.run_lru(&test);
         let therm = pipeline.run_thermometer(&test, &hints);
@@ -45,7 +46,10 @@ fn main() {
             TemperatureConfig::uniform(categories)
         };
         let bits = temperature.hint_bits();
-        let pipeline = Pipeline::new(PipelineConfig { frontend: FrontendConfig::table1(), temperature });
+        let pipeline = Pipeline::new(PipelineConfig {
+            frontend: FrontendConfig::table1(),
+            temperature,
+        });
         let hints = pipeline.profile_to_hints(&train);
         let hist = hints.category_histogram();
         let hottest = *hist.last().expect("non-empty histogram") as f64; // hottest category

@@ -21,7 +21,10 @@ fn main() {
         // trace of the training input and turn it into hints.
         let train = spec.generate(InputConfig::input(0), TRACE_LEN);
         let train_hints = pipeline.profile_to_hints(&train);
-        println!("\n=== {app}: trained on input #0 ({} hinted branches) ===", train_hints.len());
+        println!(
+            "\n=== {app}: trained on input #0 ({} hinted branches) ===",
+            train_hints.len()
+        );
         println!("input   agreement   LRU misses   Therm(train)   Therm(same)   OPT");
 
         // Step 4 (online): the deployed binary serves other inputs.

@@ -47,8 +47,15 @@ fn main() {
         let therm = pipeline.run_thermometer(trace, &hints).speedup_over(&lru);
         srrip_sum += srrip;
         therm_sum += therm;
-        println!("{:20} SRRIP {srrip:+6.2}%   Thermometer {therm:+6.2}%", trace.name());
+        println!(
+            "{:20} SRRIP {srrip:+6.2}%   Thermometer {therm:+6.2}%",
+            trace.name()
+        );
     }
     let n = traces.len() as f64;
-    println!("means: SRRIP {:+.2}%  Thermometer {:+.2}%", srrip_sum / n, therm_sum / n);
+    println!(
+        "means: SRRIP {:+.2}%  Thermometer {:+.2}%",
+        srrip_sum / n,
+        therm_sum / n
+    );
 }

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full offline CI gate: format, lint, build, test.
+#
+# The workspace has no external crate dependencies (see crates/sim-support),
+# so everything here must succeed with the network unplugged. CARGO_NET_OFFLINE
+# is exported to make an accidental dependency regression fail fast instead of
+# hanging on a registry fetch.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+export CARGO_TERM_COLOR="${CARGO_TERM_COLOR:-always}"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test"
+cargo test --workspace --quiet
+
+echo "CI green."

@@ -1,0 +1,35 @@
+//! Figure-pipeline determinism: two runs of the same figures at the same
+//! scale must render byte-identical markdown. This guards both the
+//! generator/profiler seeding and the result ordering of the scoped-thread
+//! `parallel_map` fan-out in `bench/src/lib.rs` — a nondeterministic join
+//! order would scramble the rows.
+
+use thermometer_bench::{figure_by_id, Scale};
+
+fn render(ids: &[&str], scale: &Scale) -> String {
+    let mut out = String::new();
+    for id in ids {
+        for fig in figure_by_id(id, scale).expect("registered id") {
+            out.push_str(&fig.to_markdown());
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[test]
+fn figure_pipeline_is_byte_identical_across_runs() {
+    // A cross-section of the pipeline: OPT headroom (fig01), temperature
+    // distribution (fig06), bypass behaviour (fig09), and the headline
+    // speedup comparison (fig15) — each exercising profiling, hint
+    // generation, and simulation. Smoke scale keeps the runtime CI-sized.
+    let ids = ["fig01", "fig06", "fig09", "fig15"];
+    let scale = Scale::smoke();
+    let first = render(&ids, &scale);
+    let second = render(&ids, &scale);
+    assert!(!first.is_empty());
+    assert_eq!(
+        first, second,
+        "figure markdown differed between identical runs"
+    );
+}

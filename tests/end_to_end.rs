@@ -18,7 +18,10 @@ fn small_pipeline() -> Pipeline {
     // A 2K-entry BTB against kafka's footprint reproduces the paper's
     // capacity-pressure regime at unit-test trace lengths.
     Pipeline::new(PipelineConfig {
-        frontend: FrontendConfig { btb: BtbConfig::new(2048, 4), ..FrontendConfig::table1() },
+        frontend: FrontendConfig {
+            btb: BtbConfig::new(2048, 4),
+            ..FrontendConfig::table1()
+        },
         temperature: TemperatureConfig::paper_default(),
     })
 }
@@ -45,7 +48,10 @@ fn thermometer_beats_lru_and_respects_opt_floor() {
         therm.btb.misses,
         lru.btb.misses
     );
-    assert!(opt.btb.misses < therm.btb.misses, "OPT must remain the floor");
+    assert!(
+        opt.btb.misses < therm.btb.misses,
+        "OPT must remain the floor"
+    );
     assert!(therm.ipc() > lru.ipc());
     assert!(opt.ipc() > therm.ipc());
 }
@@ -142,7 +148,10 @@ fn temperatures_depend_on_btb_geometry() {
     };
     let small = hot_share(512);
     let large = hot_share(16384);
-    assert!(large > small, "hot share should grow with capacity: {small} vs {large}");
+    assert!(
+        large > small,
+        "hot share should grow with capacity: {small} vs {large}"
+    );
 }
 
 #[test]

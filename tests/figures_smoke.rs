@@ -48,10 +48,18 @@ fn fig07_cdf_is_monotone_and_ends_at_100() {
     for col in 0..fig.columns.len() {
         let series: Vec<f64> = fig.rows.iter().map(|r| r.values[col]).collect();
         for w in series.windows(2) {
-            assert!(w[1] >= w[0] - 1e-9, "{}: CDF not monotone: {w:?}", fig.columns[col]);
+            assert!(
+                w[1] >= w[0] - 1e-9,
+                "{}: CDF not monotone: {w:?}",
+                fig.columns[col]
+            );
         }
         let last = *series.last().expect("non-empty");
-        assert!((last - 100.0).abs() < 1e-6, "{}: CDF ends at {last}", fig.columns[col]);
+        assert!(
+            (last - 100.0).abs() < 1e-6,
+            "{}: CDF ends at {last}",
+            fig.columns[col]
+        );
     }
 }
 
@@ -62,7 +70,11 @@ fn fig06_heat_curve_is_decreasing() {
     for col in 0..fig.columns.len() {
         let series: Vec<f64> = fig.rows.iter().map(|r| r.values[col]).collect();
         for w in series.windows(2) {
-            assert!(w[1] <= w[0] + 1e-9, "{}: heat curve increased: {w:?}", fig.columns[col]);
+            assert!(
+                w[1] <= w[0] + 1e-9,
+                "{}: heat curve increased: {w:?}",
+                fig.columns[col]
+            );
         }
     }
 }
@@ -73,7 +85,10 @@ fn fig09_cold_bypasses_more_than_hot() {
     let fig = run("fig09", &scale).remove(0);
     let avg = fig.rows.last().expect("avg row");
     let (cold, hot) = (avg.values[0], avg.values[2]);
-    assert!(cold > hot, "cold bypass {cold} should exceed hot bypass {hot}");
+    assert!(
+        cold > hot,
+        "cold bypass {cold} should exceed hot bypass {hot}"
+    );
 }
 
 #[test]
@@ -94,7 +109,12 @@ fn fig15_coverage_is_a_percentage() {
     let scale = Scale::smoke();
     let fig = run("fig15", &scale).remove(0);
     for row in &fig.rows {
-        assert!((0.0..=100.0).contains(&row.values[0]), "{}: {}", row.label, row.values[0]);
+        assert!(
+            (0.0..=100.0).contains(&row.values[0]),
+            "{}: {}",
+            row.label,
+            row.values[0]
+        );
     }
 }
 

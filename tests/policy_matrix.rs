@@ -2,16 +2,26 @@
 //! workload traces, must satisfy the BTB accounting identities, and
 //! Belady's OPT must dominate them all.
 
-use btb_model::policies::{BeladyOpt, Ghrp, GhrpConfig, Hawkeye, HawkeyeConfig, Lru, Random, Srrip};
+use btb_model::policies::{
+    BeladyOpt, Ghrp, GhrpConfig, Hawkeye, HawkeyeConfig, Lru, Random, Srrip,
+};
 use btb_model::{AccessContext, Btb, BtbConfig, BtbStats, ReplacementPolicy};
-use btb_trace::{NextUseOracle, Trace};
+use btb_trace::{BranchKind, BranchRecord, NextUseOracle, Trace};
 use btb_workloads::{AppSpec, InputConfig};
+use sim_support::forall;
 
 fn workload(name: &str) -> Trace {
-    AppSpec::by_name(name).expect("built-in app").generate(InputConfig::input(0), 120_000)
+    AppSpec::by_name(name)
+        .expect("built-in app")
+        .generate(InputConfig::input(0), 120_000)
 }
 
-fn drive<P: ReplacementPolicy>(trace: &Trace, policy: P, config: BtbConfig, oracle: bool) -> BtbStats {
+fn drive<P: ReplacementPolicy>(
+    trace: &Trace,
+    policy: P,
+    config: BtbConfig,
+    oracle: bool,
+) -> BtbStats {
     let oracle = oracle.then(|| NextUseOracle::build(trace));
     let mut btb = Btb::new(config, policy);
     for (i, r) in trace.taken().enumerate() {
@@ -36,16 +46,38 @@ fn accounting_identities_hold_for_every_policy() {
         ("LRU", drive(&trace, Lru::new(), config, false)),
         ("Random", drive(&trace, Random::with_seed(3), config, false)),
         ("SRRIP", drive(&trace, Srrip::new(), config, false)),
-        ("GHRP", drive(&trace, Ghrp::new(GhrpConfig::default()), config, false)),
-        ("Hawkeye", drive(&trace, Hawkeye::new(HawkeyeConfig::default()), config, false)),
+        (
+            "GHRP",
+            drive(&trace, Ghrp::new(GhrpConfig::default()), config, false),
+        ),
+        (
+            "Hawkeye",
+            drive(
+                &trace,
+                Hawkeye::new(HawkeyeConfig::default()),
+                config,
+                false,
+            ),
+        ),
         ("OPT", drive(&trace, BeladyOpt::new(), config, true)),
     ];
     let accesses = stats[0].1.accesses;
     for (name, s) in &stats {
         assert_eq!(s.accesses, accesses, "{name}: access count differs");
-        assert_eq!(s.hits + s.misses, s.accesses, "{name}: hits+misses != accesses");
-        assert_eq!(s.fills + s.evictions + s.bypasses, s.misses, "{name}: miss breakdown");
-        assert_eq!(s.fills, stats[0].1.fills, "{name}: cold fills are policy-independent");
+        assert_eq!(
+            s.hits + s.misses,
+            s.accesses,
+            "{name}: hits+misses != accesses"
+        );
+        assert_eq!(
+            s.fills + s.evictions + s.bypasses,
+            s.misses,
+            "{name}: miss breakdown"
+        );
+        assert_eq!(
+            s.fills, stats[0].1.fills,
+            "{name}: cold fills are policy-independent"
+        );
     }
 }
 
@@ -59,8 +91,19 @@ fn opt_dominates_every_online_policy_on_real_workloads() {
             ("LRU", drive(&trace, Lru::new(), config, false)),
             ("Random", drive(&trace, Random::with_seed(1), config, false)),
             ("SRRIP", drive(&trace, Srrip::new(), config, false)),
-            ("GHRP", drive(&trace, Ghrp::new(GhrpConfig::default()), config, false)),
-            ("Hawkeye", drive(&trace, Hawkeye::new(HawkeyeConfig::default()), config, false)),
+            (
+                "GHRP",
+                drive(&trace, Ghrp::new(GhrpConfig::default()), config, false),
+            ),
+            (
+                "Hawkeye",
+                drive(
+                    &trace,
+                    Hawkeye::new(HawkeyeConfig::default()),
+                    config,
+                    false,
+                ),
+            ),
         ] {
             assert!(
                 opt.hits >= stats.hits,
@@ -79,13 +122,27 @@ fn only_opt_style_policies_bypass() {
     for (label, stats) in [
         ("LRU", drive(&trace, Lru::new(), config, false)),
         ("SRRIP", drive(&trace, Srrip::new(), config, false)),
-        ("GHRP", drive(&trace, Ghrp::new(GhrpConfig::default()), config, false)),
-        ("Hawkeye", drive(&trace, Hawkeye::new(HawkeyeConfig::default()), config, false)),
+        (
+            "GHRP",
+            drive(&trace, Ghrp::new(GhrpConfig::default()), config, false),
+        ),
+        (
+            "Hawkeye",
+            drive(
+                &trace,
+                Hawkeye::new(HawkeyeConfig::default()),
+                config,
+                false,
+            ),
+        ),
     ] {
         assert_eq!(stats.bypasses, 0, "{label} must never bypass");
     }
     let opt = drive(&trace, BeladyOpt::new(), config, true);
-    assert!(opt.bypasses > 0, "OPT should bypass cold streams under pressure");
+    assert!(
+        opt.bypasses > 0,
+        "OPT should bypass cold streams under pressure"
+    );
 }
 
 #[test]
@@ -104,6 +161,74 @@ fn capacity_monotonicity_for_opt() {
     }
 }
 
+/// On arbitrary access streams and geometries (including remainder sets),
+/// no online policy beats OPT, and no set ever holds more entries than its
+/// associativity allows — checked after every single access.
+#[test]
+fn prop_no_policy_beats_opt_and_sets_never_overflow() {
+    fn synthetic(pcs: &[u64]) -> Trace {
+        let mut t = Trace::new("policy-matrix-prop");
+        for &pc in pcs {
+            t.push(BranchRecord::taken(
+                pc << 2,
+                0x1,
+                BranchKind::UncondDirect,
+                0,
+            ));
+        }
+        t
+    }
+
+    fn checked_hits<P: ReplacementPolicy>(trace: &Trace, policy: P, config: BtbConfig) -> u64 {
+        let stats = {
+            let oracle = NextUseOracle::build(trace);
+            let mut btb = Btb::new(config, policy);
+            for (i, r) in trace.taken().enumerate() {
+                let ctx = AccessContext {
+                    pc: r.pc,
+                    target: r.target,
+                    kind: r.kind,
+                    hint: 0,
+                    next_use: oracle.next_use(i),
+                    access_index: i as u64,
+                };
+                btb.access(&ctx);
+                for s in 0..btb.geometry().sets() {
+                    let occ = btb.set_occupancy(s);
+                    let cap = btb.geometry().ways_of(s);
+                    assert!(occ <= cap, "set {s} holds {occ} entries, capacity {cap}");
+                }
+            }
+            assert!(btb.occupancy() <= config.entries());
+            btb.stats().clone()
+        };
+        assert_eq!(stats.hits + stats.misses, stats.accesses);
+        stats.hits
+    }
+
+    forall!(cases: 32, gen: |rng| {
+        let len = rng.gen_range(1usize..400);
+        let pcs: Vec<u64> = (0..len).map(|_| rng.gen_range(0u64..48)).collect();
+        // Entries not divisible by ways exercises the remainder set.
+        let ways = rng.gen_range(1usize..5);
+        let entries = rng.gen_range(ways..=4 * ways + 3);
+        (pcs, entries, ways)
+    }, prop: |(pcs, entries, ways)| {
+        let trace = synthetic(pcs);
+        let config = BtbConfig::new(*entries, *ways);
+        let opt = checked_hits(&trace, BeladyOpt::new(), config);
+        for (label, hits) in [
+            ("LRU", checked_hits(&trace, Lru::new(), config)),
+            ("Random", checked_hits(&trace, Random::with_seed(11), config)),
+            ("SRRIP", checked_hits(&trace, Srrip::new(), config)),
+            ("GHRP", checked_hits(&trace, Ghrp::new(GhrpConfig::default()), config)),
+            ("Hawkeye", checked_hits(&trace, Hawkeye::new(HawkeyeConfig::default()), config)),
+        ] {
+            assert!(opt >= hits, "OPT ({opt} hits) lost to {label} ({hits} hits)");
+        }
+    });
+}
+
 #[test]
 fn remainder_set_geometry_runs_every_policy() {
     // The 7979-entry geometry has a 3-way remainder set; every policy must
@@ -114,7 +239,12 @@ fn remainder_set_geometry_runs_every_policy() {
         drive(&trace, Lru::new(), config, false),
         drive(&trace, Srrip::new(), config, false),
         drive(&trace, Ghrp::new(GhrpConfig::default()), config, false),
-        drive(&trace, Hawkeye::new(HawkeyeConfig::default()), config, false),
+        drive(
+            &trace,
+            Hawkeye::new(HawkeyeConfig::default()),
+            config,
+            false,
+        ),
         drive(&trace, BeladyOpt::new(), config, true),
     ] {
         assert!(stats.hits > 0);

@@ -18,7 +18,10 @@ fn workload_traces_roundtrip_through_the_codec() {
 
         // Compact: delta+varint encoding should beat 29 bytes/record raw.
         let bytes_per_record = buf.len() as f64 / trace.len() as f64;
-        assert!(bytes_per_record < 12.0, "{name}: {bytes_per_record:.1} bytes/record");
+        assert!(
+            bytes_per_record < 12.0,
+            "{name}: {bytes_per_record:.1} bytes/record"
+        );
     }
 }
 
