@@ -2,6 +2,10 @@
 //! model (TAGE + BTB + caches + timing). This bounds figure regeneration
 //! time — the Fig. 1/11 grids run ~100 of these simulations.
 //!
+//! Also measures the figure grid itself (a smoke-scale `fig01`) serially
+//! and through the shared pool, so the scatter/gather overhead and the
+//! machine's actual speedup are on record next to the per-sim rate.
+//!
 //! Run with `cargo bench -p thermometer-bench --bench frontend`;
 //! results land in `results/bench_frontend.json` (median/MAD).
 
@@ -10,8 +14,9 @@ use std::hint::black_box;
 use btb_model::policies::Lru;
 use btb_trace::Trace;
 use btb_workloads::{AppSpec, InputConfig};
-use sim_support::BenchHarness;
+use sim_support::{pool, BenchHarness};
 use thermometer::pipeline::{Pipeline, PipelineConfig};
+use thermometer_bench::{figure_by_id, Scale};
 use uarch_sim::{Frontend, FrontendConfig};
 
 const STREAM_LEN: usize = 200_000;
@@ -37,5 +42,25 @@ fn main() {
         let hints = pipeline.profile_to_hints(&trace);
         black_box(pipeline.run_thermometer(&trace, &hints))
     });
+
+    // The grid executor, serial vs. pooled, on one representative figure.
+    // Output is byte-identical either way (tests/grid_parallel.rs); only
+    // wall-clock may differ, by up to the machine's core count.
+    let smoke = Scale::smoke();
+    let cells = Some(smoke.apps.len() as u64);
+    pool::set_threads(1);
+    harness.bench("fig01_grid_serial", cells, || {
+        black_box(figure_by_id("fig01", &smoke))
+    });
+    pool::set_threads(0); // default: SIM_THREADS or available parallelism
+    harness.bench("fig01_grid_pooled", cells, || {
+        black_box(figure_by_id("fig01", &smoke))
+    });
+    harness.note(&format!(
+        "fig01_grid_pooled ran with {} worker thread(s); cells are independent, so \
+         figures all --threads N scales with cores until cells per figure (3-13) are exhausted. \
+         Full-sweep before/after wall-clock for this machine is recorded in results/grid_stats.json.",
+        pool::configured_threads()
+    ));
     harness.finish(RESULTS_DIR);
 }

@@ -5,23 +5,22 @@
 //! btbsim kafka1.btbt --policy lru
 //! btbsim kafka1.btbt --policy thermometer --profile kafka0.btbt
 //! btbsim kafka1.btbt --policy opt --entries 4096 --ways 8
+//! btbsim kafka1.btbt --policy lru,srrip,opt --threads 3   # one worker each
 //! ```
+//!
+//! `--policy` accepts a comma-separated list; the runs are scattered over
+//! `--threads N` / `SIM_THREADS` workers and reported in the order given.
 
 use std::fs::File;
 use std::io::BufReader;
 use std::process::exit;
 
-use btb_model::policies::{
-    BeladyOpt, Drrip, Fifo, Ghrp, GhrpConfig, Hawkeye, HawkeyeConfig, PseudoLru, Random, Ship,
-};
 use btb_model::BtbConfig;
 use btb_trace::{read_binary, Trace};
-use thermometer::pipeline::{Pipeline, PipelineConfig};
-use thermometer::TemperatureConfig;
+use sim_support::pool;
+use thermometer::pipeline::{Pipeline, PipelineConfig, POLICY_NAMES};
+use thermometer::{HintTable, TemperatureConfig};
 use uarch_sim::{FrontendConfig, SimReport};
-
-const POLICIES: &str =
-    "lru, fifo, plru, random, srrip, drrip, ship, ghrp, hawkeye, opt, thermometer";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -34,6 +33,13 @@ fn main() {
     });
     let ways: usize =
         flag(&args, "--ways").map_or(4, |v| v.parse().unwrap_or_else(|_| usage("bad --ways")));
+    if let Some(threads) = flag(&args, "--threads") {
+        let n: usize = threads.parse().unwrap_or_else(|_| usage("bad --threads"));
+        if n == 0 {
+            usage("--threads must be >= 1");
+        }
+        pool::set_threads(n);
+    }
 
     let trace = load(path);
     let pipeline = Pipeline::new(PipelineConfig {
@@ -44,36 +50,47 @@ fn main() {
         temperature: TemperatureConfig::paper_default(),
     });
 
-    let report = match policy.as_str() {
-        "lru" => pipeline.run_lru(&trace),
-        "fifo" => pipeline.run_policy(&trace, Fifo::new()),
-        "plru" => pipeline.run_policy(&trace, PseudoLru::new()),
-        "random" => pipeline.run_policy(&trace, Random::with_seed(0x5eed)),
-        "srrip" => pipeline.run_srrip(&trace),
-        "drrip" => pipeline.run_policy(&trace, Drrip::new()),
-        "ship" => pipeline.run_policy(&trace, Ship::new()),
-        "ghrp" => pipeline.run_policy(&trace, Ghrp::new(GhrpConfig::default())),
-        "hawkeye" => pipeline.run_policy(&trace, Hawkeye::new(HawkeyeConfig::default())),
-        "opt" => pipeline.run_custom(&trace, BeladyOpt::new(), None, true, None),
-        "thermometer" => {
-            let profile_trace = match flag(&args, "--profile") {
-                Some(p) => load(&p),
-                None => {
-                    eprintln!("note: no --profile given; profiling on the simulated trace itself");
-                    trace.clone()
-                }
-            };
-            let hints = pipeline.profile_to_hints(&profile_trace);
-            eprintln!(
-                "profiled {} branches -> {} hinted",
-                profile_trace.len(),
-                hints.len()
-            );
-            pipeline.run_thermometer(&trace, &hints)
+    let policies: Vec<&str> = policy.split(',').filter(|p| !p.is_empty()).collect();
+    if policies.is_empty() {
+        usage("empty --policy list");
+    }
+    if let Some(unknown) = policies.iter().find(|p| !POLICY_NAMES.contains(p)) {
+        usage(&format!(
+            "unknown policy {unknown} (choose from: {})",
+            POLICY_NAMES.join(", ")
+        ));
+    }
+
+    // Profile once, up front, if any requested policy needs hints.
+    let hints: Option<HintTable> = policies.contains(&"thermometer").then(|| {
+        let profile_trace = match flag(&args, "--profile") {
+            Some(p) => load(&p),
+            None => {
+                eprintln!("note: no --profile given; profiling on the simulated trace itself");
+                trace.clone()
+            }
+        };
+        let hints = pipeline.profile_to_hints(&profile_trace);
+        eprintln!(
+            "profiled {} branches -> {} hinted",
+            profile_trace.len(),
+            hints.len()
+        );
+        hints
+    });
+
+    // Scatter the runs, gather reports in the order the policies were given.
+    let reports = pool::par_map(&policies, |_, name| {
+        pipeline
+            .run_named(&trace, name, hints.as_ref())
+            .expect("validated above")
+    });
+    for (i, report) in reports.iter().enumerate() {
+        if i > 0 {
+            println!();
         }
-        other => usage(&format!("unknown policy {other} (choose from: {POLICIES})")),
-    };
-    print_report(&report);
+        print_report(report);
+    }
 }
 
 fn load(path: &str) -> Trace {
@@ -114,8 +131,10 @@ fn usage(error: &str) -> ! {
         eprintln!("error: {error}");
     }
     eprintln!(
-        "usage: btbsim <trace.btbt> [--policy <name>] [--entries N] [--ways N] [--profile <trace.btbt>]\n\
-         policies: {POLICIES}"
+        "usage: btbsim <trace.btbt> [--policy <name>[,<name>...]] [--entries N] [--ways N] \
+         [--profile <trace.btbt>] [--threads N]\n\
+         policies: {}",
+        POLICY_NAMES.join(", ")
     );
     exit(if error.is_empty() { 0 } else { 2 });
 }

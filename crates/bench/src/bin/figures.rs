@@ -4,20 +4,28 @@
 //! figures all                  # every figure, prints tables
 //! figures fig11 fig12          # specific figures
 //! figures all --markdown out.md  # also write a Markdown report
+//! figures all --threads 8      # scatter cells over 8 workers
 //! ```
 //!
 //! Scale knobs: `THERMO_TRACE_LEN`, `THERMO_CBP_COUNT`, `THERMO_CBP_LEN`,
 //! `THERMO_IPC1_COUNT`, `THERMO_IPC1_LEN`, `THERMO_APPS` (see `Scale`).
+//! Thread count: `--threads N` or `SIM_THREADS` (default: available
+//! parallelism; 1 = serial). Output is byte-identical at any width; per-cell
+//! wall-time/throughput observability lands in `results/grid_stats.json`
+//! (override with `--grid-stats <path>`).
 
 use std::io::Write;
 use std::time::Instant;
 
-use thermometer_bench::{figure_by_id, FigureResult, Scale, FIGURE_IDS};
+use sim_support::pool;
+use thermometer_bench::{figure_by_id, grid, FigureResult, Scale, FIGURE_IDS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut ids: Vec<String> = Vec::new();
     let mut markdown_path: Option<String> = None;
+    let mut grid_stats_path =
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/grid_stats.json").to_owned();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -26,6 +34,22 @@ fn main() {
                     iter.next()
                         .unwrap_or_else(|| usage("missing path after --markdown")),
                 );
+            }
+            "--threads" => {
+                let n: usize = iter
+                    .next()
+                    .unwrap_or_else(|| usage("missing count after --threads"))
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --threads"));
+                if n == 0 {
+                    usage("--threads must be >= 1");
+                }
+                pool::set_threads(n);
+            }
+            "--grid-stats" => {
+                grid_stats_path = iter
+                    .next()
+                    .unwrap_or_else(|| usage("missing path after --grid-stats"));
             }
             "--help" | "-h" => usage(""),
             other => ids.push(other.to_owned()),
@@ -39,15 +63,20 @@ fn main() {
     }
 
     let scale = Scale::from_env();
+    let threads = pool::configured_threads();
     eprintln!(
-        "scale: {} records/app, {} apps, cbp {}x{}, ipc1 {}x{}",
+        "scale: {} records/app, {} apps, cbp {}x{}, ipc1 {}x{}, {} thread{}",
         scale.trace_len,
         scale.apps.len(),
         scale.cbp_count,
         scale.cbp_len,
         scale.ipc1_count,
-        scale.ipc1_len
+        scale.ipc1_len,
+        threads,
+        if threads == 1 { " (serial)" } else { "s" }
     );
+    grid::reset_stats();
+    let run_start = Instant::now();
 
     let mut results: Vec<FigureResult> = Vec::new();
     for id in &ids {
@@ -65,6 +94,22 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+
+    let total_wall_ms = run_start.elapsed().as_secs_f64() * 1e3;
+    let cells = grid::take_stats();
+    let notes = [format!(
+        "{} cells over {} thread{} in {:.1} s; speedup scales with cores because cells are \
+         independent (tests/grid_parallel.rs proves output is identical at any width)",
+        cells.len(),
+        threads,
+        if threads == 1 { "" } else { "s" },
+        total_wall_ms / 1e3
+    )];
+    let stats_path = std::path::Path::new(&grid_stats_path);
+    match grid::write_grid_stats(stats_path, threads, total_wall_ms, &notes, &cells) {
+        Ok(()) => eprintln!("wrote {grid_stats_path}"),
+        Err(e) => eprintln!("failed to write {grid_stats_path}: {e}"),
     }
 
     if let Some(path) = markdown_path {
@@ -95,6 +140,9 @@ fn usage(error: &str) -> ! {
     if !error.is_empty() {
         eprintln!("error: {error}");
     }
-    eprintln!("usage: figures <fig01|...|fig21|all>... [--markdown <path>]");
+    eprintln!(
+        "usage: figures <fig01|...|fig21|all>... [--markdown <path>] [--threads N] \
+         [--grid-stats <path>]"
+    );
     std::process::exit(if error.is_empty() { 0 } else { 2 });
 }

@@ -18,7 +18,7 @@ use crate::text::{FigureResult, Row};
 /// Fig. 1: speedup of SRRIP / GHRP / Hawkeye / OPT over LRU.
 pub fn fig01(scale: &Scale) -> FigureResult {
     let pipeline = Pipeline::new(PipelineConfig::default());
-    let rows = per_app(&scale.apps, |spec| {
+    let rows = per_app("fig01", &scale.apps, |spec| {
         let trace = test_trace(spec, scale);
         let lru = pipeline.run_lru(&trace);
         let values = vec![
@@ -51,7 +51,7 @@ pub fn fig01(scale: &Scale) -> FigureResult {
 /// Fig. 2: limit study — perfect BTB / branch predictor / I-cache.
 pub fn fig02(scale: &Scale) -> FigureResult {
     let pipeline = Pipeline::new(PipelineConfig::default());
-    let rows = per_app(&scale.apps, |spec| {
+    let rows = per_app("fig02", &scale.apps, |spec| {
         let trace = test_trace(spec, scale);
         let lru = pipeline.run_lru(&trace);
         let perfect = |opts: PerfectOptions| pipeline.run_perfect(&trace, opts).speedup_over(&lru);
@@ -95,7 +95,7 @@ pub fn fig02(scale: &Scale) -> FigureResult {
 /// Fig. 3: L2 instruction MPKI per application.
 pub fn fig03(scale: &Scale) -> FigureResult {
     let pipeline = Pipeline::new(PipelineConfig::default());
-    let rows = per_app(&scale.apps, |spec| {
+    let rows = per_app("fig03", &scale.apps, |spec| {
         let trace = test_trace(spec, scale);
         let report = pipeline.run_lru(&trace);
         Row::new(spec.name.clone(), vec![report.l2_impki()])
@@ -119,7 +119,7 @@ pub fn fig03(scale: &Scale) -> FigureResult {
 /// perfect BTB.
 pub fn fig04(scale: &Scale) -> FigureResult {
     let pipeline = Pipeline::new(PipelineConfig::default());
-    let rows = per_app(&scale.apps, |spec| {
+    let rows = per_app("fig04", &scale.apps, |spec| {
         let trace = test_trace(spec, scale);
         let config = pipeline.config().frontend;
         let lru = pipeline.run_lru(&trace);
@@ -214,7 +214,7 @@ pub fn fig04(scale: &Scale) -> FigureResult {
 /// Fig. 5: transient vs. holistic reuse-distance variance.
 pub fn fig05(scale: &Scale) -> FigureResult {
     let geometry = BtbConfig::table1().geometry();
-    let rows = per_app(&scale.apps, |spec| {
+    let rows = per_app("fig05", &scale.apps, |spec| {
         let trace = test_trace(spec, scale);
         let summary = ReuseAnalysis::measure(&trace, &geometry).variance_summary();
         Row::new(spec.name.clone(), vec![summary.transient, summary.holistic])
@@ -269,7 +269,7 @@ fn sample_curve(points: &[analysis::HeatPoint]) -> Vec<f64> {
 /// Fig. 6: hit-to-taken distribution under OPT (hottest branches first).
 pub fn fig06(scale: &Scale) -> FigureResult {
     let apps = curve_apps(scale);
-    let curves = per_app(&apps, |spec| {
+    let curves = per_app("fig06", &apps, |spec| {
         let trace = test_trace(spec, scale);
         let profile = OptProfile::measure(&trace, BtbConfig::table1());
         (
@@ -305,7 +305,7 @@ pub fn fig06(scale: &Scale) -> FigureResult {
 /// Fig. 7: cumulative dynamic-access share of the hottest branches.
 pub fn fig07(scale: &Scale) -> FigureResult {
     let apps = curve_apps(scale);
-    let curves = per_app(&apps, |spec| {
+    let curves = per_app("fig07", &apps, |spec| {
         let trace = test_trace(spec, scale);
         let profile = OptProfile::measure(&trace, BtbConfig::table1());
         (
@@ -337,7 +337,7 @@ pub fn fig07(scale: &Scale) -> FigureResult {
 /// Fig. 8: correlation of branch properties with temperature.
 pub fn fig08(scale: &Scale) -> FigureResult {
     let geometry = BtbConfig::table1().geometry();
-    let rows = per_app(&scale.apps, |spec| {
+    let rows = per_app("fig08", &scale.apps, |spec| {
         let trace = test_trace(spec, scale);
         let profile = OptProfile::measure(&trace, BtbConfig::table1());
         let c = analysis::correlations(&trace, &profile, &geometry);
@@ -379,7 +379,7 @@ pub fn fig08(scale: &Scale) -> FigureResult {
 /// Fig. 9: bypass ratio by temperature class under OPT.
 pub fn fig09(scale: &Scale) -> FigureResult {
     let temp = TemperatureConfig::paper_default();
-    let rows = per_app(&scale.apps, |spec| {
+    let rows = per_app("fig09", &scale.apps, |spec| {
         let trace = test_trace(spec, scale);
         let profile = OptProfile::measure(&trace, BtbConfig::table1());
         let by_temp = analysis::bypass_by_temperature(&profile, &temp);

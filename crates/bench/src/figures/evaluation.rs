@@ -21,7 +21,7 @@ use crate::text::{FigureResult, Row};
 pub fn fig11(scale: &Scale) -> FigureResult {
     let pipeline = Pipeline::new(PipelineConfig::default());
     let iso = pipeline.with_btb(BtbConfig::iso_storage_7979());
-    let rows = per_app(&scale.apps, |spec| {
+    let rows = per_app("fig11", &scale.apps, |spec| {
         let train = train_trace(spec, scale);
         let test = test_trace(spec, scale);
         let hints = pipeline.profile_to_hints(&train);
@@ -69,7 +69,7 @@ pub fn fig11(scale: &Scale) -> FigureResult {
 /// Fig. 12: BTB miss reduction over LRU.
 pub fn fig12(scale: &Scale) -> FigureResult {
     let pipeline = Pipeline::new(PipelineConfig::default());
-    let rows = per_app(&scale.apps, |spec| {
+    let rows = per_app("fig12", &scale.apps, |spec| {
         let train = train_trace(spec, scale);
         let test = test_trace(spec, scale);
         let hints = pipeline.profile_to_hints(&train);
@@ -110,7 +110,7 @@ pub fn fig12(scale: &Scale) -> FigureResult {
 /// same-input profile, as a percentage of the optimal speedup.
 pub fn fig13(scale: &Scale) -> FigureResult {
     let pipeline = Pipeline::new(PipelineConfig::default());
-    let per_app_rows = per_app(&scale.apps, |spec| {
+    let per_app_rows = per_app("fig13", &scale.apps, |spec| {
         let train = train_trace(spec, scale);
         let train_hints = pipeline.profile_to_hints(&train);
         let mut rows = Vec::new();
@@ -174,7 +174,7 @@ pub fn fig13(scale: &Scale) -> FigureResult {
 /// harness (`cargo bench --bench profiling` → `results/bench_profiling.json`).
 pub fn fig14(scale: &Scale) -> FigureResult {
     let pipeline = Pipeline::new(PipelineConfig::default());
-    let rows = per_app(&scale.apps, |spec| {
+    let rows = per_app("fig14", &scale.apps, |spec| {
         let train = train_trace(spec, scale);
         let profile = pipeline.profile(&train);
         let accesses: u64 = profile.branches.values().map(|c| c.taken).sum();
@@ -209,7 +209,7 @@ pub fn fig14(scale: &Scale) -> FigureResult {
 /// distinguished the candidates.
 pub fn fig15(scale: &Scale) -> FigureResult {
     let pipeline = Pipeline::new(PipelineConfig::default());
-    let rows = per_app(&scale.apps, |spec| {
+    let rows = per_app("fig15", &scale.apps, |spec| {
         let train = train_trace(spec, scale);
         let test = test_trace(spec, scale);
         let hints = pipeline.profile_to_hints(&train);
@@ -238,7 +238,7 @@ pub fn fig15(scale: &Scale) -> FigureResult {
 pub fn fig16(scale: &Scale) -> FigureResult {
     let config = BtbConfig::table1();
     let pipeline = Pipeline::new(PipelineConfig::default());
-    let rows = per_app(&scale.apps, |spec| {
+    let rows = per_app("fig16", &scale.apps, |spec| {
         let train = train_trace(spec, scale);
         let test = test_trace(spec, scale);
         let hints = pipeline.profile_to_hints(&train);

@@ -21,7 +21,7 @@ use crate::text::{FigureResult, Row};
 /// Extension: every implemented replacement policy over LRU.
 pub fn extra_policies(scale: &Scale) -> FigureResult {
     let pipeline = Pipeline::new(PipelineConfig::default());
-    let rows = per_app(&scale.apps, |spec| {
+    let rows = per_app("extra-policies", &scale.apps, |spec| {
         let test = test_trace(spec, scale);
         let lru = pipeline.run_lru(&test);
         Row::new(
@@ -78,7 +78,7 @@ fn cv_hints(pipeline: &Pipeline, train: &Trace) -> HintTable {
 /// Extension: Thermometer component ablations.
 pub fn ablation(scale: &Scale) -> FigureResult {
     let pipeline = Pipeline::new(PipelineConfig::default());
-    let rows = per_app(&scale.apps, |spec| {
+    let rows = per_app("ablation", &scale.apps, |spec| {
         let train = train_trace(spec, scale);
         let test = test_trace(spec, scale);
         let hints = pipeline.profile_to_hints(&train);

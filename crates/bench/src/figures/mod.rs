@@ -86,12 +86,16 @@ pub fn all_figures(scale: &Scale) -> Vec<FigureResult> {
 
 /// The training trace (input `#0`) for an application.
 pub(crate) fn train_trace(spec: &AppSpec, scale: &Scale) -> Trace {
-    spec.generate(InputConfig::input(0), scale.trace_len)
+    let trace = spec.generate(InputConfig::input(0), scale.trace_len);
+    crate::grid::note_accesses(trace.len() as u64);
+    trace
 }
 
 /// The default test trace (input `#1`).
 pub(crate) fn test_trace(spec: &AppSpec, scale: &Scale) -> Trace {
-    spec.generate(InputConfig::input(1), scale.trace_len)
+    let trace = spec.generate(InputConfig::input(1), scale.trace_len);
+    crate::grid::note_accesses(trace.len() as u64);
+    trace
 }
 
 #[cfg(test)]

@@ -59,7 +59,7 @@ fn sweep_columns(apps: &[AppSpec]) -> Vec<String> {
 pub fn fig19_entries(scale: &Scale) -> FigureResult {
     let apps = sweep_apps(scale);
     let sizes = [1024usize, 2048, 4096, 8192, 16384, 32768];
-    let per_app_curves = per_app(&apps, |spec| {
+    let per_app_curves = per_app("fig19-entries", &apps, |spec| {
         let train = train_trace(spec, scale);
         let test = test_trace(spec, scale);
         sizes
@@ -102,7 +102,7 @@ pub fn fig19_entries(scale: &Scale) -> FigureResult {
 pub fn fig19_ways(scale: &Scale) -> FigureResult {
     let apps = sweep_apps(scale);
     let ways_list = [4usize, 8, 16, 32, 64, 128];
-    let per_app_curves = per_app(&apps, |spec| {
+    let per_app_curves = per_app("fig19-ways", &apps, |spec| {
         let train = train_trace(spec, scale);
         let test = test_trace(spec, scale);
         ways_list
@@ -141,7 +141,7 @@ pub fn fig19_ways(scale: &Scale) -> FigureResult {
 pub fn fig20_categories(scale: &Scale) -> FigureResult {
     let apps = sweep_apps(scale);
     let category_counts = [2usize, 3, 4, 8, 16];
-    let per_app_curves = per_app(&apps, |spec| {
+    let per_app_curves = per_app("fig20-categories", &apps, |spec| {
         let train = train_trace(spec, scale);
         let test = test_trace(spec, scale);
         category_counts
@@ -191,7 +191,7 @@ pub fn fig20_categories(scale: &Scale) -> FigureResult {
 pub fn fig20_ftq(scale: &Scale) -> FigureResult {
     let apps = sweep_apps(scale);
     let ftq_sizes = [64u32, 128, 192, 256];
-    let per_app_curves = per_app(&apps, |spec| {
+    let per_app_curves = per_app("fig20-ftq", &apps, |spec| {
         let train = train_trace(spec, scale);
         let test = test_trace(spec, scale);
         ftq_sizes
@@ -239,7 +239,7 @@ pub fn fig20_ftq(scale: &Scale) -> FigureResult {
 /// Fig. 21: composing Thermometer with the Twig BTB prefetcher.
 pub fn fig21(scale: &Scale) -> FigureResult {
     let pipeline = Pipeline::new(PipelineConfig::default());
-    let rows = per_app(&scale.apps, |spec| {
+    let rows = per_app("fig21", &scale.apps, |spec| {
         let train = train_trace(spec, scale);
         let test = test_trace(spec, scale);
         let hints = pipeline.profile_to_hints(&train);

@@ -36,7 +36,7 @@ pub fn fig17(scale: &Scale) -> FigureResult {
     let traces = cbp5_suite(SuiteParams::new(scale.cbp_count, scale.cbp_len));
     let pipeline = Pipeline::new(PipelineConfig::default());
 
-    let per_trace: Vec<(f64, f64, f64)> = per_app_traces(&traces, |trace| {
+    let per_trace: Vec<(f64, f64, f64)> = per_app_traces("fig17", &traces, |trace| {
         let ghrp = pipeline.run_ghrp(trace);
         let profile = pipeline.profile(trace);
         let fixed_hints = HintTable::from_profile(&profile, &TemperatureConfig::paper_default());
@@ -119,7 +119,7 @@ pub fn fig18(scale: &Scale) -> FigureResult {
     let traces = ipc1_suite(SuiteParams::new(scale.ipc1_count, scale.ipc1_len));
     let pipeline = Pipeline::new(PipelineConfig::default());
 
-    let per_trace: Vec<(Vec<f64>, f64)> = per_app_traces(&traces, |trace| {
+    let per_trace: Vec<(Vec<f64>, f64)> = per_app_traces("fig18", &traces, |trace| {
         let lru = pipeline.run_lru(trace);
         let hints = pipeline.profile_to_hints(trace);
         let speedups = vec![

@@ -1,0 +1,344 @@
+//! The experiment cell grid: every figure's inner (app × policy × config)
+//! loop, made enumerable and executed through `sim-support`'s deterministic
+//! scatter/gather pool.
+//!
+//! A **cell** is one independent unit of a figure — typically "one
+//! application through every policy of the figure's column set". Cells are
+//! scattered onto [`sim_support::pool`] workers and gathered **in canonical
+//! (submission) order**, so the assembled [`FigureResult`](crate::FigureResult)
+//! tables are byte-identical whatever the thread count or completion order
+//! (`tests/grid_parallel.rs` pins this).
+//!
+//! # Determinism rules
+//!
+//! * Cells never share a live RNG. Each cell gets its own stream, split from
+//!   a per-figure parent **by index before dispatch** ([`SimRng::split`] per
+//!   cell, drawn serially), so the stream a cell sees is a pure function of
+//!   `(figure id, cell index)` — not of scheduling. Reach it with
+//!   [`with_cell_rng`].
+//! * Audit note (`workloads::exec`): trace generation already builds a fresh
+//!   `Executor` per `(app, input)` pair seeded from `structure_seed` +
+//!   `input_id`, so no `&mut` RNG ever crosses a cell boundary in the figure
+//!   closures today. The grid makes that a structural guarantee rather than a
+//!   convention, and `tests/grid_parallel.rs` runs the cells in permuted
+//!   order to prove results are order-independent.
+//!
+//! # Observability
+//!
+//! Each cell records wall-time, simulated BTB accesses (reported by
+//! [`note_accesses`]) and the pool queue depth at dispatch into a
+//! process-wide registry; the `figures` binary drains it into
+//! `results/grid_stats.json` via [`write_grid_stats`].
+
+use std::cell::RefCell;
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use sim_support::{pool, SimRng};
+
+/// Seed folded with the figure id to root each figure's cell-RNG tree.
+const GRID_SEED: u64 = 0x6e1d_5eed_b7b2_0221;
+
+/// Per-cell measurement, pushed to the registry in canonical order.
+#[derive(Clone, Debug)]
+pub struct CellStat {
+    /// Figure id (`"fig11"`, `"extra-policies"`, ...).
+    pub figure: String,
+    /// Human label for the cell (application or trace name).
+    pub label: String,
+    /// Canonical index of the cell within its figure grid.
+    pub index: usize,
+    /// Wall-clock the cell closure took.
+    pub wall_ms: f64,
+    /// Simulated BTB accesses the cell reported via [`note_accesses`]
+    /// (trace records pushed through generators/simulators; approximate
+    /// work units, 0 when the closure reported nothing).
+    pub accesses: u64,
+    /// `accesses / wall`, the cell's simulation throughput.
+    pub accesses_per_sec: f64,
+    /// Pool jobs still queued when this cell started (0 on the serial path).
+    pub queue_depth: usize,
+}
+
+struct ActiveCell {
+    accesses: u64,
+    rng: SimRng,
+}
+
+thread_local! {
+    static ACTIVE: RefCell<Option<ActiveCell>> = const { RefCell::new(None) };
+    /// When set, the serial path executes cells in reverse index order —
+    /// the permuted-schedule regression hook used by `tests/grid_parallel.rs`.
+    static REVERSE_SERIAL: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+static STATS: Mutex<Vec<CellStat>> = Mutex::new(Vec::new());
+
+/// Credits `n` simulated accesses to the currently running cell. A no-op
+/// outside a cell (unit tests calling figure helpers directly).
+pub fn note_accesses(n: u64) {
+    ACTIVE.with_borrow_mut(|active| {
+        if let Some(cell) = active {
+            cell.accesses += n;
+        }
+    });
+}
+
+/// Runs `f` with the current cell's private RNG stream — a pure function of
+/// `(figure id, cell index)`, never shared between cells. Outside a cell a
+/// fixed fallback stream is used so callers stay deterministic in unit tests.
+pub fn with_cell_rng<R>(f: impl FnOnce(&mut SimRng) -> R) -> R {
+    ACTIVE.with_borrow_mut(|active| match active {
+        Some(cell) => f(&mut cell.rng),
+        None => f(&mut SimRng::seed_from_u64(GRID_SEED)),
+    })
+}
+
+/// Runs one figure's cells through the pool and gathers results in canonical
+/// order. `label` names each cell for the stats registry; `f` is the cell
+/// body. With a configured thread count of 1 this is a plain serial loop.
+pub fn run_cells<I, T, L, F>(figure: &str, items: &[I], label: L, f: F) -> Vec<T>
+where
+    I: Sync,
+    T: Send,
+    L: Fn(&I) -> String + Sync,
+    F: Fn(&I) -> T + Sync,
+{
+    // Split one private stream per cell up front, serially, so cell i's
+    // stream depends only on (figure, i) — never on execution order.
+    let mut parent = SimRng::seed_from_u64(GRID_SEED ^ fnv1a(figure.as_bytes()));
+    let seeds: Vec<u64> = items.iter().map(|_| parent.next_u64()).collect();
+
+    let pool_handle = pool::handle();
+    let run_one = |index: usize, item: &I| -> (T, CellStat) {
+        let queue_depth = pool_handle.as_ref().map_or(0, |p| p.queued());
+        // Save/restore rather than set/clear: a worker that help-runs other
+        // queued cells while one of its own waits must not lose its context.
+        let previous = ACTIVE.replace(Some(ActiveCell {
+            accesses: 0,
+            rng: SimRng::seed_from_u64(seeds[index]),
+        }));
+        let start = Instant::now();
+        let value = f(item);
+        let wall = start.elapsed();
+        let cell = ACTIVE.replace(previous).expect("cell context intact");
+        let wall_ms = wall.as_secs_f64() * 1e3;
+        let accesses_per_sec = if wall.as_secs_f64() > 0.0 {
+            cell.accesses as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        };
+        let stat = CellStat {
+            figure: figure.to_string(),
+            label: label(item),
+            index,
+            wall_ms,
+            accesses: cell.accesses,
+            accesses_per_sec,
+            queue_depth,
+        };
+        (value, stat)
+    };
+
+    let gathered: Vec<(T, CellStat)> = match &pool_handle {
+        Some(p) => p.par_map(items, run_one),
+        None => {
+            // Serial path; honor the permuted-order regression hook.
+            let mut slots: Vec<Option<(T, CellStat)>> = Vec::with_capacity(items.len());
+            slots.resize_with(items.len(), || None);
+            let mut order: Vec<usize> = (0..items.len()).collect();
+            if REVERSE_SERIAL.get() {
+                order.reverse();
+            }
+            for index in order {
+                slots[index] = Some(run_one(index, &items[index]));
+            }
+            slots
+                .into_iter()
+                .map(|slot| slot.expect("every cell ran"))
+                .collect()
+        }
+    };
+
+    let mut values = Vec::with_capacity(gathered.len());
+    let mut stats = STATS.lock().expect("grid stats registry poisoned");
+    for (value, stat) in gathered {
+        stats.push(stat); // canonical order: gathered is submission-ordered
+        values.push(value);
+    }
+    values
+}
+
+/// Runs `f` with the serial executor visiting cells in **reverse** index
+/// order on this thread. Gathered output must not change — the regression
+/// test for cell order-independence (and thus for RNG sharing across cells).
+pub fn with_reversed_serial_order<R>(f: impl FnOnce() -> R) -> R {
+    struct Reset;
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            REVERSE_SERIAL.set(false);
+        }
+    }
+    let _reset = Reset;
+    REVERSE_SERIAL.set(true);
+    f()
+}
+
+/// Clears the cell-stat registry (start of a measured run).
+pub fn reset_stats() {
+    STATS.lock().expect("grid stats registry poisoned").clear();
+}
+
+/// Drains and returns every cell stat recorded since the last reset.
+pub fn take_stats() -> Vec<CellStat> {
+    std::mem::take(&mut *STATS.lock().expect("grid stats registry poisoned"))
+}
+
+/// Writes the drained cell stats plus run-level context as JSON — the
+/// observability artifact `results/grid_stats.json`.
+pub fn write_grid_stats(
+    path: &Path,
+    threads: usize,
+    total_wall_ms: f64,
+    notes: &[String],
+    cells: &[CellStat],
+) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"total_wall_ms\": {total_wall_ms:.3},\n"));
+    let cell_wall: f64 = cells.iter().map(|c| c.wall_ms).sum();
+    out.push_str(&format!("  \"cell_wall_ms\": {cell_wall:.3},\n"));
+    out.push_str(&format!("  \"cells_run\": {},\n", cells.len()));
+    if let Some(pool) = pool::handle() {
+        let stats = pool.stats();
+        out.push_str(&format!(
+            "  \"pool\": {{ \"threads\": {}, \"steals\": {}, \"executed\": {}, \
+             \"queue_depth_hwm\": {} }},\n",
+            stats.threads, stats.steals, stats.executed, stats.depth_hwm
+        ));
+    }
+    out.push_str("  \"notes\": [\n");
+    for (i, note) in notes.iter().enumerate() {
+        let comma = if i + 1 < notes.len() { "," } else { "" };
+        out.push_str(&format!("    \"{}\"{comma}\n", escape(note)));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"cells\": [\n");
+    for (i, cell) in cells.iter().enumerate() {
+        let comma = if i + 1 < cells.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{ \"figure\": \"{}\", \"label\": \"{}\", \"index\": {}, \
+             \"wall_ms\": {:.3}, \"accesses\": {}, \"accesses_per_sec\": {:.0}, \
+             \"queue_depth\": {} }}{comma}\n",
+            escape(&cell.figure),
+            escape(&cell.label),
+            cell.index,
+            cell.wall_ms,
+            cell.accesses,
+            cell.accesses_per_sec,
+            cell.queue_depth
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(out.as_bytes())
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_gather_in_canonical_order() {
+        let items: Vec<usize> = (0..12).collect();
+        let out = run_cells("unit-grid", &items, |i| format!("cell{i}"), |&i| i * 3);
+        assert_eq!(out, (0..12).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reversed_serial_order_gathers_identically() {
+        let items: Vec<usize> = (0..9).collect();
+        let forward = run_cells(
+            "unit-rev",
+            &items,
+            |i| i.to_string(),
+            |&i| with_cell_rng(|rng| rng.next_u64()).wrapping_add(i as u64),
+        );
+        let reversed = with_reversed_serial_order(|| {
+            run_cells(
+                "unit-rev",
+                &items,
+                |i| i.to_string(),
+                |&i| with_cell_rng(|rng| rng.next_u64()).wrapping_add(i as u64),
+            )
+        });
+        assert_eq!(forward, reversed);
+    }
+
+    #[test]
+    fn cell_rng_is_a_function_of_figure_and_index() {
+        let items = [0usize, 1, 2];
+        let a = run_cells(
+            "unit-rng",
+            &items,
+            |i| i.to_string(),
+            |_| with_cell_rng(|rng| rng.next_u64()),
+        );
+        let b = run_cells(
+            "unit-rng",
+            &items,
+            |i| i.to_string(),
+            |_| with_cell_rng(|rng| rng.next_u64()),
+        );
+        let other = run_cells(
+            "unit-rng2",
+            &items,
+            |i| i.to_string(),
+            |_| with_cell_rng(|rng| rng.next_u64()),
+        );
+        assert_eq!(a, b, "same figure + index => same stream");
+        assert_ne!(a, other, "different figure => different streams");
+        assert_ne!(a[0], a[1], "cells never share a stream");
+    }
+
+    #[test]
+    fn accesses_are_credited_to_the_running_cell() {
+        reset_stats();
+        let items = [10u64, 20];
+        run_cells(
+            "unit-acc",
+            &items,
+            |i| i.to_string(),
+            |&n| {
+                note_accesses(n);
+                n
+            },
+        );
+        let stats: Vec<CellStat> = take_stats()
+            .into_iter()
+            .filter(|s| s.figure == "unit-acc")
+            .collect();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].accesses, 10);
+        assert_eq!(stats[1].accesses, 20);
+        assert_eq!(stats[0].index, 0);
+    }
+}

@@ -28,6 +28,8 @@ pub struct Drrip {
     /// Policy selector: positive favours BRRIP, negative favours SRRIP.
     psel: i32,
     brrip_tick: u64,
+    /// When set, every set uses this flavour — set dueling disabled.
+    pinned: Option<Flavour>,
 }
 
 /// Which insertion flavour a set uses.
@@ -43,7 +45,22 @@ impl Drrip {
         Self::default()
     }
 
+    /// A DRRIP whose set dueling is pinned to the SRRIP flavour: every set
+    /// inserts at [`RRPV_LONG`], exactly like [`Srrip`](crate::policies::Srrip).
+    /// Used by the differential tests — with the selector frozen, DRRIP must
+    /// be *behaviourally identical* to SRRIP, which pins the shared RRPV
+    /// machinery (victim scan, aging, hit promotion) against divergence.
+    pub fn pinned_srrip() -> Self {
+        Self {
+            pinned: Some(Flavour::Srrip),
+            ..Self::default()
+        }
+    }
+
     fn flavour(&self, set: usize) -> Flavour {
+        if let Some(flavour) = self.pinned {
+            return flavour;
+        }
         match set % LEADER_STRIDE {
             0 => Flavour::Srrip,
             1 => Flavour::Brrip,

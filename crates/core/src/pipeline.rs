@@ -5,7 +5,10 @@
 //! temperature configuration and can run any of the paper's policies over
 //! any trace with consistent settings.
 
-use btb_model::policies::{BeladyOpt, Ghrp, GhrpConfig, Hawkeye, HawkeyeConfig, Lru, Srrip};
+use btb_model::policies::{
+    BeladyOpt, Drrip, Fifo, Ghrp, GhrpConfig, Hawkeye, HawkeyeConfig, Lru, PseudoLru, Random, Ship,
+    Srrip,
+};
 use btb_model::{BtbConfig, ReplacementPolicy};
 use btb_trace::{NextUseOracle, Trace};
 use uarch_sim::{Frontend, FrontendConfig, PerfectOptions, SimReport};
@@ -33,6 +36,22 @@ impl Default for PipelineConfig {
         }
     }
 }
+
+/// Policy names accepted by [`Pipeline::run_named`], in canonical order —
+/// the `btbsim --policy` vocabulary.
+pub const POLICY_NAMES: [&str; 11] = [
+    "lru",
+    "fifo",
+    "plru",
+    "random",
+    "srrip",
+    "drrip",
+    "ship",
+    "ghrp",
+    "hawkeye",
+    "opt",
+    "thermometer",
+];
 
 /// The profile-guided workflow plus baseline runners.
 #[derive(Clone, Debug, Default)]
@@ -148,6 +167,42 @@ impl Pipeline {
         report
     }
 
+    /// Runs the policy named by one of [`POLICY_NAMES`] (the CLI
+    /// vocabulary). `"thermometer"` uses `hints` when given and otherwise
+    /// profiles the simulated trace itself; every other policy ignores
+    /// `hints`. Returns `None` for an unknown name.
+    pub fn run_named(
+        &self,
+        trace: &Trace,
+        name: &str,
+        hints: Option<&HintTable>,
+    ) -> Option<SimReport> {
+        Some(match name {
+            "lru" => self.run_lru(trace),
+            "fifo" => self.run_policy(trace, Fifo::new()),
+            "plru" => self.run_policy(trace, PseudoLru::new()),
+            "random" => self.run_policy(trace, Random::with_seed(0x5eed)),
+            "srrip" => self.run_srrip(trace),
+            "drrip" => self.run_policy(trace, Drrip::new()),
+            "ship" => self.run_policy(trace, Ship::new()),
+            "ghrp" => self.run_ghrp(trace),
+            "hawkeye" => self.run_hawkeye(trace),
+            "opt" => self.run_opt(trace),
+            "thermometer" => {
+                let own_hints;
+                let hints = match hints {
+                    Some(h) => h,
+                    None => {
+                        own_hints = self.profile_to_hints(trace);
+                        &own_hints
+                    }
+                };
+                self.run_thermometer(trace, hints)
+            }
+            _ => return None,
+        })
+    }
+
     /// A limit-study run (Fig. 2): LRU replacement with perfect structures.
     pub fn run_perfect(&self, trace: &Trace, perfect: PerfectOptions) -> SimReport {
         let mut config = self.config.frontend;
@@ -253,6 +308,22 @@ mod tests {
             cross.btb.misses,
             lru.btb.misses
         );
+    }
+
+    #[test]
+    fn run_named_covers_the_cli_vocabulary() {
+        let trace = small_trace(0);
+        let p = Pipeline::new(PipelineConfig::default());
+        for name in POLICY_NAMES {
+            let report = p.run_named(&trace, name, None).expect("known policy name");
+            assert!(report.btb.accesses > 0, "{name} simulated nothing");
+        }
+        assert!(p.run_named(&trace, "nosuch", None).is_none());
+        // Dispatch agrees with the direct runners.
+        let named = p.run_named(&trace, "lru", None).unwrap();
+        let direct = p.run_lru(&trace);
+        assert_eq!(named.btb.misses, direct.btb.misses);
+        assert_eq!(named.label, direct.label);
     }
 
     #[test]

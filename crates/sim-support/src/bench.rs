@@ -58,6 +58,7 @@ pub struct BenchHarness {
     warmup: u32,
     iters: u32,
     results: Vec<BenchResult>,
+    notes: Vec<String>,
 }
 
 fn env_u32(key: &str, default: u32) -> u32 {
@@ -75,7 +76,14 @@ impl BenchHarness {
             warmup: env_u32("BENCH_WARMUP", 2),
             iters: env_u32("BENCH_ITERS", 10).max(1),
             results: Vec::new(),
+            notes: Vec::new(),
         }
+    }
+
+    /// Attaches a free-form commentary line to the suite's JSON (context a
+    /// number alone can't carry: machine caveats, before/after comparisons).
+    pub fn note(&mut self, text: &str) {
+        self.notes.push(text.to_owned());
     }
 
     /// Runs one benchmark: `warmup` untimed then `iters` timed calls of `f`.
@@ -116,6 +124,14 @@ impl BenchHarness {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"suite\": {},\n", json_string(&self.suite)));
         out.push_str(&format!("  \"warmup\": {},\n", self.warmup));
+        if !self.notes.is_empty() {
+            out.push_str("  \"notes\": [\n");
+            for (i, note) in self.notes.iter().enumerate() {
+                let comma = if i + 1 < self.notes.len() { "," } else { "" };
+                out.push_str(&format!("    {}{comma}\n", json_string(note)));
+            }
+            out.push_str("  ],\n");
+        }
         out.push_str("  \"benchmarks\": [\n");
         for (i, r) in self.results.iter().enumerate() {
             out.push_str("    {");
@@ -237,10 +253,13 @@ mod tests {
         let mut h = BenchHarness::new("json");
         h.bench("noop", None, || 1 + 1);
         h.bench("q\"uote", None, || ());
+        h.note("a \"quoted\" note");
         let json = h.to_json();
         assert!(json.contains("\"suite\": \"json\""));
         assert!(json.contains("\"median_ns\""));
         assert!(json.contains("\\\"uote"));
+        assert!(json.contains("\"notes\""));
+        assert!(json.contains("a \\\"quoted\\\" note"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 

@@ -16,6 +16,10 @@
 //!   diffs against `tests/goldens/`, blessed with `UPDATE_GOLDENS=1`.
 //! * [`bench`] — a micro-benchmark harness (warmup + timed iterations,
 //!   median/MAD) writing machine-readable JSON under `results/`.
+//! * [`pool`] — a work-stealing [`ThreadPool`] whose [`pool::par_map`]
+//!   gathers results in submission order, so going parallel cannot perturb
+//!   output ([`pool::set_threads`] / `SIM_THREADS` pick the width; 1 =
+//!   serial).
 //!
 //! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
 //!
@@ -34,7 +38,9 @@
 pub mod bench;
 pub mod forall;
 pub mod golden;
+pub mod pool;
 pub mod rng;
 
 pub use bench::{BenchHarness, BenchResult};
+pub use pool::{PoolStats, ThreadPool};
 pub use rng::{SimRng, SplitMix64};

@@ -1,8 +1,9 @@
 //! Figure-pipeline determinism: two runs of the same figures at the same
 //! scale must render byte-identical markdown. This guards both the
-//! generator/profiler seeding and the result ordering of the scoped-thread
-//! `parallel_map` fan-out in `bench/src/lib.rs` — a nondeterministic join
-//! order would scramble the rows.
+//! generator/profiler seeding and the submission-order gather of the
+//! `grid::run_cells` executor in `bench/src/grid.rs` — a completion-order
+//! join would scramble the rows. (`tests/grid_parallel.rs` additionally
+//! pins serial-vs-parallel equivalence across thread counts.)
 
 use thermometer_bench::{figure_by_id, Scale};
 
