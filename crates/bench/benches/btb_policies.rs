@@ -54,6 +54,10 @@ fn main() {
     let accesses = Some(trace.taken().count() as u64);
 
     let mut harness = BenchHarness::new("btb_policies");
+    harness.note(
+        "containers: BTreeMap on result-bearing iteration paths, \
+         fixed-seed DetHashMap on lookup-only hot paths (simlint D01)",
+    );
     harness.bench("lru", accesses, || {
         drive(&trace, &oracle, &hints, Lru::new())
     });

@@ -30,6 +30,7 @@ pub struct Scale {
 }
 
 fn env_usize(key: &str, default: usize) -> usize {
+    // simlint: allow(D04) -- THERMO_* scale knobs are documented in README.md
     std::env::var(key)
         .ok()
         .and_then(|v| v.parse().ok())
@@ -39,6 +40,7 @@ fn env_usize(key: &str, default: usize) -> usize {
 impl Scale {
     /// Full-fidelity defaults with environment overrides.
     pub fn from_env() -> Self {
+        // simlint: allow(D04) -- THERMO_APPS filter is documented in README.md
         let apps = match std::env::var("THERMO_APPS") {
             Ok(filter) => {
                 let wanted: Vec<&str> = filter.split(',').map(str::trim).collect();

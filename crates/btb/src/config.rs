@@ -148,7 +148,7 @@ mod tests {
         assert_eq!(g.set_of(16 * 4), 0, "wraps after 16 instructions");
         assert_eq!(g.set_of(4 * (16 * 5 + 7)), 7);
         // Aligned PCs cover every set.
-        let covered: std::collections::HashSet<usize> =
+        let covered: std::collections::BTreeSet<usize> =
             (0..64u64).map(|i| g.set_of(i * 4)).collect();
         assert_eq!(covered.len(), 16);
     }

@@ -9,7 +9,7 @@
 //! averse entries first, then the oldest friendly entry, whose PC is
 //! detrained when sacrificed.
 
-use std::collections::HashMap;
+use sim_support::DetHashMap;
 
 use crate::policies::WayTable;
 use crate::policy::{AccessContext, ReplacementPolicy, Victim};
@@ -48,8 +48,10 @@ struct OptGen {
     occupancy: Vec<u8>,
     /// Absolute access time of the window's first slot.
     base_time: u64,
-    /// Last access time of each PC seen in this set.
-    last_access: HashMap<u64, u64>,
+    /// Last access time of each PC seen in this set. Lookup-only hot path:
+    /// the map is never iterated except to drop stale PCs (order-free), so
+    /// the seeded O(1) map is safe here.
+    last_access: DetHashMap<u64, u64>,
     /// Current time in this set's local access stream.
     time: u64,
 }
@@ -103,7 +105,7 @@ struct EntryMeta {
 pub struct Hawkeye {
     config: HawkeyeConfig,
     predictor: Vec<u8>,
-    samples: HashMap<usize, OptGen>,
+    samples: DetHashMap<usize, OptGen>,
     meta: WayTable<EntryMeta>,
     ways: usize,
 }
@@ -114,7 +116,7 @@ impl Hawkeye {
         Self {
             config,
             predictor: vec![FRIENDLY_AT; 1 << config.predictor_bits],
-            samples: HashMap::new(),
+            samples: DetHashMap::default(),
             meta: WayTable::default(),
             ways: 0,
         }

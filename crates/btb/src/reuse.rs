@@ -18,7 +18,7 @@
 //! magnitude); the ≥2× relationship is scale-invariant in practice and the
 //! figure's qualitative claim is what we reproduce.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use btb_trace::Trace;
 
@@ -28,7 +28,9 @@ use crate::Geometry;
 #[derive(Clone, Debug, Default)]
 pub struct ReuseAnalysis {
     /// Per-branch reuse-distance samples (log2-scaled), keyed by PC.
-    pub distances: HashMap<u64, Vec<f64>>,
+    /// Ordered map: [`variance_summary`](Self::variance_summary) sums
+    /// floats over `.values()`, so iteration order must be fixed.
+    pub distances: BTreeMap<u64, Vec<f64>>,
 }
 
 /// Result of aggregating per-branch variances (paper Fig. 5's two bars).
@@ -51,7 +53,7 @@ impl ReuseAnalysis {
     /// access to this PC.
     pub fn measure(trace: &Trace, geometry: &Geometry) -> Self {
         let mut mtf: Vec<Vec<u64>> = vec![Vec::new(); geometry.sets()];
-        let mut distances: HashMap<u64, Vec<f64>> = HashMap::new();
+        let mut distances: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
         for r in trace.taken() {
             let set = geometry.set_of(r.pc);
             let list = &mut mtf[set];

@@ -7,7 +7,7 @@
 //! 100% accurate by construction; transient-only (LRU) reaches ~46%,
 //! holistic-only ~64%, and Thermometer ~68% in the paper.
 
-use std::collections::HashMap;
+use sim_support::DetHashSet;
 
 use btb_model::{AccessContext, Btb, BtbConfig, BtbEntry, Geometry, ReplacementPolicy, Victim};
 use btb_trace::Trace;
@@ -140,12 +140,12 @@ fn future_distance_at_least(
     ways: usize,
 ) -> bool {
     let start = set_accesses.partition_point(|&(i, _)| i <= at);
-    let mut unique: HashMap<u64, ()> = HashMap::new();
+    let mut unique: DetHashSet<u64> = DetHashSet::default();
     for &(_, pc) in &set_accesses[start..] {
         if pc == victim {
             return unique.len() >= ways;
         }
-        unique.entry(pc).or_insert(());
+        unique.insert(pc);
         if unique.len() >= ways {
             return true;
         }

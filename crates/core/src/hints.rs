@@ -6,7 +6,9 @@
 //! accounting ([`HintTable::btb_overhead_bits`]) backs the paper's
 //! iso-storage experiment (7979-entry BTB, §4.2).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+
+use sim_support::DetHashMap;
 
 use crate::profile::OptProfile;
 use crate::temperature::TemperatureConfig;
@@ -17,7 +19,9 @@ use crate::temperature::TemperatureConfig;
 /// the coldest category, exactly like a binary whose spare bits are zero.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct HintTable {
-    hints: HashMap<u64, u8>,
+    /// Ordered: the table is the profiling pipeline's primary artifact and
+    /// is iterated for histograms and agreement studies.
+    hints: BTreeMap<u64, u8>,
     bits: u32,
     categories: usize,
 }
@@ -96,9 +100,10 @@ impl HintTable {
         hist
     }
 
-    /// Exposes the table as the `HashMap` the frontend consumes.
-    pub fn to_map(&self) -> HashMap<u64, u8> {
-        self.hints.clone()
+    /// Exposes the table as the seeded lookup map the frontend consumes
+    /// (hot per-branch lookups, never iterated).
+    pub fn to_map(&self) -> DetHashMap<u64, u8> {
+        self.hints.iter().map(|(&pc, &h)| (pc, h)).collect()
     }
 
     /// Fraction of branches whose category matches in `other` — the
@@ -106,7 +111,7 @@ impl HintTable {
     /// their category across inputs, §4.2). Compared over the union of both
     /// tables' branches (absent = coldest).
     pub fn agreement_with(&self, other: &HintTable) -> f64 {
-        let keys: std::collections::HashSet<u64> = self
+        let keys: std::collections::BTreeSet<u64> = self
             .hints
             .keys()
             .chain(other.hints.keys())

@@ -114,8 +114,8 @@ fn threshold_search_lands_inside_grid() {
 fn profiles_of_different_inputs_differ_but_overlap() {
     let a = OptProfile::measure(&small_trace(0), BtbConfig::table1());
     let b = OptProfile::measure(&small_trace(1), BtbConfig::table1());
-    let keys_a: std::collections::HashSet<&u64> = a.branches.keys().collect();
-    let keys_b: std::collections::HashSet<&u64> = b.branches.keys().collect();
+    let keys_a: std::collections::BTreeSet<&u64> = a.branches.keys().collect();
+    let keys_b: std::collections::BTreeSet<&u64> = b.branches.keys().collect();
     let inter = keys_a.intersection(&keys_b).count();
     assert!(
         inter > keys_a.len() / 2,

@@ -62,6 +62,7 @@ pub struct BenchHarness {
 }
 
 fn env_u32(key: &str, default: u32) -> u32 {
+    // simlint: allow(D04) -- BENCH_ITERS/BENCH_WARMUP are documented in README.md
     std::env::var(key)
         .ok()
         .and_then(|v| v.parse().ok())

@@ -48,6 +48,7 @@ where
     S: Fn(&T) -> Vec<T>,
     P: Fn(&T),
 {
+    // simlint: allow(D04) -- FORALL_SEED replay knob is documented in README.md
     let replay: Option<u64> = std::env::var(SEED_ENV).ok().map(|v| {
         v.parse()
             .unwrap_or_else(|_| panic!("{SEED_ENV} must be a u64, got {v:?}"))

@@ -26,6 +26,7 @@ pub const UPDATE_ENV: &str = "UPDATE_GOLDENS";
 /// `UPDATE_GOLDENS=1`, in which case the file is written).
 pub fn check_snapshot(goldens_dir: &str, name: &str, actual: &str) {
     let path = Path::new(goldens_dir).join(format!("{name}.txt"));
+    // simlint: allow(D04) -- UPDATE_GOLDENS blessing workflow is documented in README.md
     if std::env::var(UPDATE_ENV).map(|v| v == "1").unwrap_or(false) {
         fs::create_dir_all(goldens_dir)
             .unwrap_or_else(|e| panic!("cannot create {goldens_dir}: {e}"));

@@ -20,6 +20,10 @@
 //!   gathers results in submission order, so going parallel cannot perturb
 //!   output ([`pool::set_threads`] / `SIM_THREADS` pick the width; 1 =
 //!   serial).
+//! * [`detmap`] — fixed-seed hash containers ([`DetHashMap`] /
+//!   [`DetHashSet`]), the allowlisted O(1) alternative to `BTreeMap` on hot
+//!   lookup paths where `std`'s randomly seeded `HashMap` is banned (the
+//!   `simlint` D01 rule).
 //!
 //! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
 //!
@@ -36,11 +40,13 @@
 //! ```
 
 pub mod bench;
+pub mod detmap;
 pub mod forall;
 pub mod golden;
 pub mod pool;
 pub mod rng;
 
 pub use bench::{BenchHarness, BenchResult};
+pub use detmap::{DetHashMap, DetHashSet, DetState};
 pub use pool::{PoolStats, ThreadPool};
 pub use rng::{SimRng, SplitMix64};

@@ -302,6 +302,10 @@ impl<'env> Scope<'env, '_> {
     where
         F: FnOnce() + Send + 'env,
     {
+        // `remaining` must be incremented before the job is pushed: the
+        // transmute below is only sound because `scope` cannot observe
+        // `remaining == 0` (and return, ending `'env`) while this job is
+        // queued or running.
         *self.state.remaining.lock().expect("scope lock poisoned") += 1;
         let state = Arc::clone(&self.state);
         let task = move || {
@@ -358,6 +362,7 @@ pub fn configured_threads() -> usize {
     if overridden > 0 {
         return overridden;
     }
+    // simlint: allow(D04) -- SIM_THREADS override is documented in README.md and EXPERIMENTS.md
     if let Ok(value) = std::env::var("SIM_THREADS") {
         if let Ok(n) = value.trim().parse::<usize>() {
             if n > 0 {

@@ -1,0 +1,90 @@
+//! CLI for the workspace lint.
+//!
+//! ```text
+//! simlint [--root DIR] [--config FILE] [--format text|json]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 findings reported, 2 usage or I/O error.
+
+use simlint::{render_json, render_text};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    json: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: PathBuf::from("."),
+        config: None,
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--config" => {
+                args.config = Some(PathBuf::from(it.next().ok_or("--config needs a file")?));
+            }
+            "--format" => match it.next().as_deref() {
+                Some("json") => args.json = true,
+                Some("text") => args.json = false,
+                other => return Err(format!("--format must be `text` or `json`, got {other:?}")),
+            },
+            "--help" | "-h" => {
+                return Err(
+                    "usage: simlint [--root DIR] [--config FILE] [--format text|json]".to_owned(),
+                )
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("simlint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let config = match &args.config {
+        Some(path) => std::fs::read_to_string(path)
+            .map_err(|e| format!("{}: {e}", path.display()))
+            .and_then(|t| simlint::Config::parse(&t)),
+        None => simlint::load_config(&args.root),
+    };
+    let config = match config {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("simlint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match simlint::run(&args.root, &config) {
+        Ok(diags) => {
+            let rendered = if args.json {
+                render_json(&diags)
+            } else {
+                render_text(&diags)
+            };
+            print!("{rendered}");
+            if diags.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(msg) => {
+            eprintln!("simlint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! `simlint.toml`: the central suppression / scope file, parsed with an
+//! in-repo TOML-subset reader (no external dependencies).
+//!
+//! Recognised sections:
+//!
+//! ```toml
+//! [deterministic]
+//! crates = ["btb", "core", "trace", "uarch", "workloads"]
+//!
+//! [exclude]
+//! paths = ["crates/simlint/tests/fixtures"]
+//!
+//! [allow.D02]
+//! "crates/sim-support/src/bench.rs" = "the bench harness measures wall-clock by design"
+//! ```
+//!
+//! Every `[allow.<RULE>]` entry maps a path *prefix* (workspace-relative,
+//! forward slashes) to a mandatory non-empty reason string — a central
+//! suppression without a justification is a parse error, mirroring the
+//! in-source rule that `simlint: allow(...)` needs `-- reason`.
+
+use std::collections::BTreeMap;
+
+/// A central path allowlist entry for one rule.
+#[derive(Clone, Debug)]
+pub struct PathAllow {
+    /// Workspace-relative path prefix the allow applies to.
+    pub path: String,
+    /// Why the rule does not apply there.
+    pub reason: String,
+}
+
+/// Parsed lint configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Crate directory names (under `crates/`) whose code must be
+    /// bit-reproducible; D01 applies only to these.
+    pub deterministic_crates: Vec<String>,
+    /// Path prefixes skipped entirely (e.g. rule-violation fixtures).
+    pub exclude: Vec<String>,
+    /// Per-rule central allowlists, keyed by rule id.
+    pub allows: BTreeMap<String, Vec<PathAllow>>,
+}
+
+impl Default for Config {
+    /// The scopes named in the repo's determinism contract, used when no
+    /// `simlint.toml` is present (e.g. unit tests on synthetic sources).
+    fn default() -> Self {
+        Config {
+            deterministic_crates: ["btb", "core", "trace", "uarch", "workloads"]
+                .iter()
+                .map(|s| (*s).to_owned())
+                .collect(),
+            exclude: Vec::new(),
+            allows: BTreeMap::new(),
+        }
+    }
+}
+
+impl Config {
+    /// Parses the TOML subset described in the module docs.
+    pub fn parse(text: &str) -> Result<Config, String> {
+        let mut cfg = Config {
+            deterministic_crates: Vec::new(),
+            exclude: Vec::new(),
+            allows: BTreeMap::new(),
+        };
+        let mut section = String::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim().to_owned();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|r| r.strip_suffix(']')) {
+                section = name.trim().to_owned();
+                if section.is_empty() {
+                    return Err(format!("simlint.toml:{lineno}: empty section header"));
+                }
+                continue;
+            }
+            let Some((key, value)) = split_key_value(&line) else {
+                return Err(format!("simlint.toml:{lineno}: expected `key = value`"));
+            };
+            match section.as_str() {
+                "deterministic" if key == "crates" => {
+                    cfg.deterministic_crates = parse_string_list(&value)
+                        .map_err(|e| format!("simlint.toml:{lineno}: {e}"))?;
+                }
+                "exclude" if key == "paths" => {
+                    cfg.exclude = parse_string_list(&value)
+                        .map_err(|e| format!("simlint.toml:{lineno}: {e}"))?;
+                }
+                s if s.starts_with("allow.") => {
+                    let rule = s["allow.".len()..].to_owned();
+                    let reason =
+                        parse_string(&value).map_err(|e| format!("simlint.toml:{lineno}: {e}"))?;
+                    if reason.trim().is_empty() {
+                        return Err(format!(
+                            "simlint.toml:{lineno}: allow for {rule} at `{key}` has an \
+                             empty reason; every suppression must be justified"
+                        ));
+                    }
+                    cfg.allows
+                        .entry(rule)
+                        .or_default()
+                        .push(PathAllow { path: key, reason });
+                }
+                other => {
+                    return Err(format!(
+                        "simlint.toml:{lineno}: unknown key `{key}` in section `[{other}]`"
+                    ));
+                }
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// Whether `rel_path` lives in a deterministic crate (`crates/<name>/…`).
+    pub fn is_deterministic(&self, rel_path: &str) -> bool {
+        self.deterministic_crates
+            .iter()
+            .any(|c| rel_path.starts_with(&format!("crates/{c}/")))
+    }
+
+    /// Whether `rel_path` is excluded from linting entirely.
+    pub fn is_excluded(&self, rel_path: &str) -> bool {
+        self.exclude.iter().any(|p| path_prefix(rel_path, p))
+    }
+
+    /// Whether the central allowlist exempts `rel_path` from `rule`.
+    pub fn is_path_allowed(&self, rule: &str, rel_path: &str) -> bool {
+        self.allows
+            .get(rule)
+            .is_some_and(|list| list.iter().any(|a| path_prefix(rel_path, &a.path)))
+    }
+}
+
+/// Prefix match on path components: `crates/bench` covers
+/// `crates/bench/src/grid.rs` but not `crates/bench2/...`; exact file
+/// paths match themselves.
+fn path_prefix(rel_path: &str, prefix: &str) -> bool {
+    let prefix = prefix.trim_end_matches('/');
+    rel_path == prefix
+        || rel_path
+            .strip_prefix(prefix)
+            .is_some_and(|rest| rest.starts_with('/'))
+}
+
+/// Drops a trailing `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut prev_escape = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' if !prev_escape => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        prev_escape = in_str && c == '\\' && !prev_escape;
+    }
+    line
+}
+
+/// Splits `key = value`, unquoting the key if it is a string literal.
+fn split_key_value(line: &str) -> Option<(String, String)> {
+    let eq = if let Some(rest) = line.strip_prefix('"') {
+        // Quoted key: find the `=` after the closing quote.
+        let close = rest.find('"')? + 1;
+        close + line[close..].find('=')?
+    } else {
+        line.find('=')?
+    };
+    let key_raw = line[..eq].trim();
+    let value = line[eq + 1..].trim().to_owned();
+    let key = if key_raw.starts_with('"') && key_raw.ends_with('"') && key_raw.len() >= 2 {
+        key_raw[1..key_raw.len() - 1].to_owned()
+    } else {
+        key_raw.to_owned()
+    };
+    if key.is_empty() || value.is_empty() {
+        return None;
+    }
+    Some((key, value))
+}
+
+/// Parses a double-quoted string value (no escape support needed for
+/// paths and prose reasons, but `\"` is handled).
+fn parse_string(value: &str) -> Result<String, String> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .ok_or_else(|| format!("expected a quoted string, got `{value}`"))?;
+    Ok(inner.replace("\\\"", "\""))
+}
+
+/// Parses `["a", "b"]`.
+fn parse_string_list(value: &str) -> Result<Vec<String>, String> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|r| r.strip_suffix(']'))
+        .ok_or_else(|| format!("expected a string array, got `{value}`"))?;
+    let mut out = Vec::new();
+    for item in inner.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        out.push(parse_string(item)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"
+# central suppressions
+[deterministic]
+crates = ["btb", "core"]
+
+[exclude]
+paths = ["crates/simlint/tests/fixtures"]
+
+[allow.D02]
+"crates/sim-support/src/bench.rs" = "bench harness measures wall-clock by design"
+[allow.D03]
+"crates/sim-support/src/pool.rs" = "the deterministic thread pool is the one concurrency site"
+"#;
+
+    #[test]
+    fn parses_sections_and_scopes() {
+        let cfg = Config::parse(SAMPLE).unwrap();
+        assert_eq!(cfg.deterministic_crates, vec!["btb", "core"]);
+        assert!(cfg.is_deterministic("crates/btb/src/lib.rs"));
+        assert!(!cfg.is_deterministic("crates/bench/src/grid.rs"));
+        assert!(cfg.is_excluded("crates/simlint/tests/fixtures/d01_hit.rs"));
+        assert!(!cfg.is_excluded("crates/simlint/tests/rules.rs"));
+        assert!(cfg.is_path_allowed("D02", "crates/sim-support/src/bench.rs"));
+        assert!(!cfg.is_path_allowed("D02", "crates/sim-support/src/pool.rs"));
+        assert!(cfg.is_path_allowed("D03", "crates/sim-support/src/pool.rs"));
+    }
+
+    #[test]
+    fn empty_reason_is_rejected() {
+        let bad = "[allow.D01]\n\"crates/x/src/a.rs\" = \"\"\n";
+        let err = Config::parse(bad).unwrap_err();
+        assert!(err.contains("empty reason"), "{err}");
+    }
+
+    #[test]
+    fn unknown_keys_are_rejected() {
+        assert!(Config::parse("[deterministic]\nfoo = \"bar\"\n").is_err());
+        assert!(Config::parse("nosection = 1\n").is_err());
+    }
+
+    #[test]
+    fn prefix_matching_respects_components() {
+        assert!(path_prefix("crates/bench/src/grid.rs", "crates/bench"));
+        assert!(!path_prefix("crates/bench2/src/grid.rs", "crates/bench"));
+        assert!(path_prefix("tests/a.rs", "tests/a.rs"));
+    }
+
+    #[test]
+    fn default_matches_repo_contract() {
+        let cfg = Config::default();
+        for c in ["btb", "core", "trace", "uarch", "workloads"] {
+            assert!(
+                cfg.is_deterministic(&format!("crates/{c}/src/lib.rs")),
+                "{c}"
+            );
+        }
+        assert!(!cfg.is_deterministic("crates/sim-support/src/pool.rs"));
+        assert!(!cfg.is_deterministic("crates/bench/src/grid.rs"));
+    }
+}

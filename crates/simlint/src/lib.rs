@@ -1,0 +1,64 @@
+//! `simlint` — repo-specific static analysis for the simulator workspace.
+//!
+//! The workspace's headline property is *hermetic determinism*: the same
+//! trace and config must produce byte-identical results on any machine, at
+//! any thread count, on any run. Most regressions against that property
+//! come from a handful of std idioms that are perfectly fine elsewhere —
+//! `HashMap`'s randomly seeded hasher, wall-clock timestamps, ad-hoc
+//! threading — so this crate lints for exactly those, plus two safety
+//! hygiene rules. See [`rules`] for the rule table.
+//!
+//! Zero external dependencies: a small line scanner ([`scan`]) separates
+//! code from comments and blanks literals, the rule engine matches on the
+//! code channel, and a TOML-subset reader ([`config`]) parses the central
+//! `simlint.toml` suppression file. In-source escape hatch:
+//!
+//! ```text
+//! // simlint: allow(D03) -- serializes test output only
+//! ```
+//!
+//! The reason after `--` is mandatory; a suppression without one is itself
+//! reported (rule X01) and suppresses nothing.
+
+pub mod config;
+pub mod diag;
+pub mod rules;
+pub mod scan;
+pub mod walk;
+
+pub use config::Config;
+pub use diag::{render_json, render_text, Diagnostic};
+
+use std::path::Path;
+
+/// Lints one source text as if it lived at `rel_path` (workspace-relative,
+/// forward slashes). This is the fixture-test entry point.
+pub fn lint_source(rel_path: &str, source: &str, config: &Config) -> Vec<Diagnostic> {
+    rules::lint_scanned(rel_path, &scan::scan(source), config)
+}
+
+/// Loads `simlint.toml` from `root`, or the built-in defaults when the
+/// file does not exist.
+pub fn load_config(root: &Path) -> Result<Config, String> {
+    let path = root.join("simlint.toml");
+    if !path.exists() {
+        return Ok(Config::default());
+    }
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Config::parse(&text)
+}
+
+/// Lints every `.rs` file under `root/crates` and `root/tests`, returning
+/// diagnostics in deterministic (file, line, col) order.
+pub fn run(root: &Path, config: &Config) -> Result<Vec<Diagnostic>, String> {
+    let files = walk::collect_rs_files(root, config)
+        .map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let mut diags = Vec::new();
+    for (rel, abs) in files {
+        let text =
+            std::fs::read_to_string(&abs).map_err(|e| format!("reading {}: {e}", abs.display()))?;
+        diags.extend(lint_source(&rel, &text, config));
+    }
+    diags.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    Ok(diags)
+}

@@ -1,0 +1,80 @@
+//! Deterministic workspace walk: every `.rs` file under `crates/` and
+//! `tests/`, sorted by relative path, with `target/` and configured
+//! exclusions skipped.
+
+use crate::config::Config;
+use std::path::{Path, PathBuf};
+
+/// Collects the files to lint, as (relative-path, absolute-path) pairs.
+/// The relative path uses forward slashes regardless of platform so rule
+/// scoping and reports are portable.
+pub fn collect_rs_files(root: &Path, config: &Config) -> std::io::Result<Vec<(String, PathBuf)>> {
+    let mut out = Vec::new();
+    for top in ["crates", "tests"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            visit(&dir, root, config, &mut out)?;
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+fn visit(
+    dir: &Path,
+    root: &Path,
+    config: &Config,
+    out: &mut Vec<(String, PathBuf)>,
+) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            let rel = relative(&path, root);
+            if config.is_excluded(&rel) {
+                continue;
+            }
+            visit(&path, root, config, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = relative(&path, root);
+            if !config.is_excluded(&rel) {
+                out.push((rel, path));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn relative(path: &Path, root: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walks_this_workspace_sorted_and_filtered() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let mut cfg = Config::default();
+        cfg.exclude.push("crates/simlint/tests/fixtures".to_owned());
+        let files = collect_rs_files(&root, &cfg).unwrap();
+        assert!(files.iter().any(|(r, _)| r == "crates/simlint/src/walk.rs"));
+        assert!(files.iter().any(|(r, _)| r.starts_with("tests/")));
+        assert!(files.iter().all(|(r, _)| r.ends_with(".rs")));
+        assert!(files.iter().all(|(r, _)| !r.contains("/target/")));
+        assert!(files
+            .iter()
+            .all(|(r, _)| !r.starts_with("crates/simlint/tests/fixtures")));
+        let mut sorted = files.clone();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(files, sorted, "walk order must be deterministic");
+    }
+}

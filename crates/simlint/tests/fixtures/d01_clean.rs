@@ -1,0 +1,11 @@
+// Fixture: D01 clean — ordered and fixed-seed containers only.
+use sim_support::{DetHashMap, DetHashSet};
+use std::collections::BTreeMap;
+
+pub fn build() -> BTreeMap<u64, u32> {
+    let mut hot: DetHashMap<u64, u32> = DetHashMap::default();
+    hot.insert(0x4000, 1);
+    let seen: DetHashSet<u64> = hot.keys().copied().collect();
+    assert!(seen.contains(&0x4000));
+    BTreeMap::new()
+}

@@ -1,0 +1,8 @@
+// Fixture: D01 violation — default-hasher map in a deterministic crate.
+use std::collections::HashMap;
+
+pub fn build() -> HashMap<u64, u32> {
+    let mut m = HashMap::new();
+    m.insert(0x4000, 1);
+    m
+}

@@ -1,0 +1,7 @@
+// Fixture: D01 suppressed with a justified in-source allow.
+// simlint: allow(D01) -- scratch map in a doc example, never iterated
+use std::collections::HashMap;
+
+pub fn build() -> std::collections::BTreeMap<u64, u32> {
+    std::collections::BTreeMap::new()
+}

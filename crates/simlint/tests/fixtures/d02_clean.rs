@@ -1,0 +1,6 @@
+// Fixture: D02 clean — work is measured in deterministic units.
+pub fn measure(accesses: u64) -> f64 {
+    // "Instant::now()" in a string or comment must not fire the rule.
+    let label = "no Instant::now() here";
+    accesses as f64 + label.len() as f64
+}

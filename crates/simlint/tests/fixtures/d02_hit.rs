@@ -1,0 +1,7 @@
+// Fixture: D02 violation — wall-clock time in simulator code.
+use std::time::Instant;
+
+pub fn measure() -> f64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_secs_f64()
+}

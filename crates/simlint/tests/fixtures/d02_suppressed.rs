@@ -1,0 +1,6 @@
+// Fixture: D02 suppressed for a timing shim.
+pub fn measure() -> f64 {
+    // simlint: allow(D02) -- wrapper reports wall-clock to the operator only
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs_f64()
+}

@@ -1,0 +1,7 @@
+// Fixture: D03 clean — parallelism flows through the deterministic pool.
+use sim_support::pool::ThreadPool;
+
+pub fn fan_out(items: Vec<u64>) -> Vec<u64> {
+    let pool = ThreadPool::new(4);
+    pool.par_map(items, |x| x * 2)
+}

@@ -1,0 +1,12 @@
+// Fixture: D03 violation — ad-hoc concurrency outside the pool.
+use std::sync::atomic::AtomicUsize;
+use std::sync::Mutex;
+
+pub fn race() {
+    static N: AtomicUsize = AtomicUsize::new(0);
+    let m = Mutex::new(0u64);
+    std::thread::spawn(move || {
+        let _ = m.lock();
+    });
+    let _ = &N;
+}

@@ -1,0 +1,8 @@
+// Fixture: D03 suppressed with reasons at each site.
+use std::sync::Mutex; // simlint: allow(D03) -- serializes test stdout only, not sim state
+
+pub fn collect() {
+    // simlint: allow(D03) -- results merged in submission order afterwards
+    let sink: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    sink.lock().unwrap().push(1);
+}

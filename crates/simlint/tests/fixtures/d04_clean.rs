@@ -1,0 +1,8 @@
+// Fixture: D04 clean — configuration arrives as parameters.
+pub struct Knobs {
+    pub threads: usize,
+}
+
+pub fn run(knobs: &Knobs) -> usize {
+    knobs.threads
+}

@@ -1,0 +1,4 @@
+// Fixture: D04 violation — undocumented environment input.
+pub fn secret_knob() -> bool {
+    std::env::var("UNDOCUMENTED_TOGGLE").is_ok()
+}

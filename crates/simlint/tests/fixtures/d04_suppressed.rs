@@ -1,0 +1,5 @@
+// Fixture: D04 suppressed for a documented knob.
+pub fn documented_knob() -> bool {
+    // simlint: allow(D04) -- FIXTURE_KNOB is a documented knob (EXPERIMENTS.md)
+    std::env::var("FIXTURE_KNOB").is_ok()
+}

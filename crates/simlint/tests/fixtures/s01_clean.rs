@@ -1,0 +1,4 @@
+// Fixture: S01 clean — no unsafe at all.
+pub fn read_first(v: &[u64]) -> Option<u64> {
+    v.first().copied()
+}

@@ -1,0 +1,4 @@
+// Fixture: S01 violation — unsafe without a SAFETY comment.
+pub fn read_first(v: &[u64]) -> u64 {
+    unsafe { *v.as_ptr() }
+}

@@ -1,0 +1,7 @@
+// Fixture: S01 satisfied — the invariant is stated.
+pub fn read_first(v: &[u64]) -> u64 {
+    assert!(!v.is_empty());
+    // SAFETY: the assert above guarantees the slice has at least one
+    // element, so the pointer is valid for a read.
+    unsafe { *v.as_ptr() }
+}

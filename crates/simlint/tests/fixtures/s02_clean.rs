@@ -1,0 +1,4 @@
+// Fixture: S02 clean — no allow attributes.
+pub fn used_everywhere() -> u64 {
+    7
+}

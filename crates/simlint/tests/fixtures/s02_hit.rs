@@ -1,0 +1,8 @@
+// Fixture: S02 violation — bare allow attribute.
+
+#[allow(dead_code)]
+fn unused_helper() {}
+
+/// Doc comments do not justify an allow; they describe the item.
+#[allow(dead_code)]
+fn documented_but_unjustified() {}

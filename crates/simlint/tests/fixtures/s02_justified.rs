@@ -1,0 +1,11 @@
+// Fixture: S02 satisfied — each allow carries its why.
+#[allow(dead_code)] // exercised only by the table-3 ablation binary
+fn ablation_helper() {}
+
+// the branchless form is measurably faster on the hot path
+#[allow(clippy::needless_range_loop)]
+fn hot_loop(xs: &mut [u64]) {
+    for i in 0..xs.len() {
+        xs[i] += 1;
+    }
+}

@@ -1,0 +1,158 @@
+//! Fixture-file tests: for every rule, a violating fixture is caught, a
+//! suppressed fixture is silent (with the suppression justified), and a
+//! clean fixture produces nothing.
+
+use simlint::{lint_source, Config};
+
+/// Lints a fixture as if it lived at `rel_path` inside the workspace.
+fn lint_fixture(rel_path: &str, source: &str) -> Vec<simlint::Diagnostic> {
+    lint_source(rel_path, source, &Config::default())
+}
+
+fn rules_of(diags: &[simlint::Diagnostic]) -> Vec<&'static str> {
+    let mut r: Vec<&'static str> = diags.iter().map(|d| d.rule).collect();
+    r.dedup();
+    r
+}
+
+#[test]
+fn d01_hit_suppressed_clean() {
+    // D01 only applies inside deterministic crates, so place the fixture there.
+    let hit = lint_fixture(
+        "crates/btb/src/fixture.rs",
+        include_str!("fixtures/d01_hit.rs"),
+    );
+    assert_eq!(rules_of(&hit), vec!["D01"]);
+    assert!(hit.iter().any(|d| d.line == 2 && d.col > 0), "{hit:?}");
+    assert!(
+        hit[0].fix.contains("BTreeMap"),
+        "fix should name the remedy"
+    );
+
+    let suppressed = lint_fixture(
+        "crates/btb/src/fixture.rs",
+        include_str!("fixtures/d01_suppressed.rs"),
+    );
+    assert!(suppressed.is_empty(), "{suppressed:?}");
+
+    let clean = lint_fixture(
+        "crates/btb/src/fixture.rs",
+        include_str!("fixtures/d01_clean.rs"),
+    );
+    assert!(clean.is_empty(), "{clean:?}");
+
+    // The same violating source outside a deterministic crate is fine.
+    let elsewhere = lint_fixture(
+        "crates/bench/src/fixture.rs",
+        include_str!("fixtures/d01_hit.rs"),
+    );
+    assert!(elsewhere.is_empty(), "{elsewhere:?}");
+}
+
+#[test]
+fn d02_hit_suppressed_clean() {
+    let hit = lint_fixture(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/d02_hit.rs"),
+    );
+    assert_eq!(rules_of(&hit), vec!["D02"]);
+    let suppressed = lint_fixture(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/d02_suppressed.rs"),
+    );
+    assert!(suppressed.is_empty(), "{suppressed:?}");
+    let clean = lint_fixture(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/d02_clean.rs"),
+    );
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+#[test]
+fn d03_hit_suppressed_clean() {
+    let hit = lint_fixture("tests/fixture.rs", include_str!("fixtures/d03_hit.rs"));
+    assert_eq!(rules_of(&hit), vec!["D03"]);
+    assert!(hit.len() >= 3, "Mutex + spawn + atomics: {hit:?}");
+    let suppressed = lint_fixture(
+        "tests/fixture.rs",
+        include_str!("fixtures/d03_suppressed.rs"),
+    );
+    assert!(suppressed.is_empty(), "{suppressed:?}");
+    let clean = lint_fixture("tests/fixture.rs", include_str!("fixtures/d03_clean.rs"));
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+#[test]
+fn d04_hit_suppressed_clean() {
+    let hit = lint_fixture(
+        "crates/bench/src/fixture.rs",
+        include_str!("fixtures/d04_hit.rs"),
+    );
+    assert_eq!(rules_of(&hit), vec!["D04"]);
+    let suppressed = lint_fixture(
+        "crates/bench/src/fixture.rs",
+        include_str!("fixtures/d04_suppressed.rs"),
+    );
+    assert!(suppressed.is_empty(), "{suppressed:?}");
+    let clean = lint_fixture(
+        "crates/bench/src/fixture.rs",
+        include_str!("fixtures/d04_clean.rs"),
+    );
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+#[test]
+fn s01_hit_justified_clean() {
+    let hit = lint_fixture(
+        "crates/sim-support/src/fixture.rs",
+        include_str!("fixtures/s01_hit.rs"),
+    );
+    assert_eq!(rules_of(&hit), vec!["S01"]);
+    let justified = lint_fixture(
+        "crates/sim-support/src/fixture.rs",
+        include_str!("fixtures/s01_justified.rs"),
+    );
+    assert!(justified.is_empty(), "{justified:?}");
+    let clean = lint_fixture(
+        "crates/sim-support/src/fixture.rs",
+        include_str!("fixtures/s01_clean.rs"),
+    );
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+#[test]
+fn s02_hit_justified_clean() {
+    let hit = lint_fixture(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/s02_hit.rs"),
+    );
+    assert_eq!(rules_of(&hit), vec!["S02"]);
+    assert_eq!(
+        hit.len(),
+        2,
+        "both the bare and the doc-only allow: {hit:?}"
+    );
+    let justified = lint_fixture(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/s02_justified.rs"),
+    );
+    assert!(justified.is_empty(), "{justified:?}");
+    let clean = lint_fixture(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/s02_clean.rs"),
+    );
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+#[test]
+fn diagnostics_carry_machine_readable_fields() {
+    let hit = lint_fixture(
+        "crates/core/src/fixture.rs",
+        include_str!("fixtures/d02_hit.rs"),
+    );
+    let json = simlint::render_json(&hit);
+    assert!(json.contains("\"rule\":\"D02\""));
+    assert!(json.contains("\"file\":\"crates/core/src/fixture.rs\""));
+    let text = simlint::render_text(&hit);
+    assert!(text.contains("crates/core/src/fixture.rs:"));
+}

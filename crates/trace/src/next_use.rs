@@ -6,7 +6,7 @@
 //! in the taken-branch stream, the position of the next access to the same
 //! branch PC (or "never").
 
-use std::collections::HashMap;
+use sim_support::DetHashMap;
 
 use crate::Trace;
 
@@ -43,7 +43,9 @@ impl NextUseOracle {
     pub fn build(trace: &Trace) -> Self {
         let pcs: Vec<u64> = trace.taken().map(|r| r.pc).collect();
         let mut next = vec![NEVER; pcs.len()];
-        let mut last_seen: HashMap<u64, u64> = HashMap::new();
+        // Lookup-only (never iterated): the seeded O(1) map keeps the
+        // backward pass linear on multi-million-access traces.
+        let mut last_seen: DetHashMap<u64, u64> = DetHashMap::default();
         for (i, &pc) in pcs.iter().enumerate().rev() {
             if let Some(&later) = last_seen.get(&pc) {
                 next[i] = later;

@@ -1,6 +1,6 @@
 //! Summary statistics over a branch trace.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crate::{BranchKind, BranchRecord, Trace};
 
@@ -65,8 +65,9 @@ pub struct TraceStats {
     pub instructions: u64,
     /// Dynamic count per branch kind.
     pub kind_histogram: [u64; BranchKind::ALL.len()],
-    /// Per-static-branch summaries keyed by PC.
-    pub branches: HashMap<u64, BranchSummary>,
+    /// Per-static-branch summaries keyed by PC. Ordered so figure code can
+    /// iterate branches without perturbing byte-identical output.
+    pub branches: BTreeMap<u64, BranchSummary>,
 }
 
 impl TraceStats {
@@ -86,7 +87,7 @@ impl TraceStats {
     /// ```
     pub fn collect(trace: &Trace) -> Self {
         let mut stats = TraceStats::default();
-        let mut targets: HashMap<u64, Vec<u64>> = HashMap::new();
+        let mut targets: BTreeMap<u64, Vec<u64>> = BTreeMap::new();
         for r in trace.records() {
             stats.observe(r);
             if r.taken {

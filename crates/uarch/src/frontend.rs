@@ -19,7 +19,7 @@
 //! The per-branch Thermometer hint (if a hint table is installed) rides
 //! into the BTB through [`AccessContext::hint`].
 
-use std::collections::HashMap;
+use sim_support::DetHashMap;
 
 use btb_model::{
     AccessContext, AccessOutcome, Btb, BtbConfig, BtbEntry, BtbInterface, BtbStats,
@@ -82,7 +82,9 @@ pub struct Frontend<B> {
     ibtb: Ibtb,
     icache: InstrHierarchy,
     prefetcher: Option<Box<dyn Prefetcher>>,
-    hints: Option<HashMap<u64, u8>>,
+    /// Looked up per branch record (hot); never iterated, so the seeded
+    /// O(1) map is safe.
+    hints: Option<DetHashMap<u64, u8>>,
 }
 
 impl<P: ReplacementPolicy> Frontend<Btb<P>> {
@@ -120,7 +122,7 @@ impl<B: BtbInterface> Frontend<B> {
 
     /// Installs a Thermometer hint table (branch PC → temperature category,
     /// 0 = coldest).
-    pub fn set_hints(&mut self, hints: HashMap<u64, u8>) {
+    pub fn set_hints(&mut self, hints: DetHashMap<u64, u8>) {
         self.hints = Some(hints);
     }
 
@@ -327,7 +329,7 @@ impl<B: BtbInterface> Frontend<B> {
 /// immediately).
 struct HintedBtb<'a, B> {
     btb: &'a mut B,
-    hints: Option<&'a HashMap<u64, u8>>,
+    hints: Option<&'a DetHashMap<u64, u8>>,
 }
 
 impl<B: BtbInterface> BtbInterface for HintedBtb<'_, B> {
@@ -540,7 +542,7 @@ mod tests {
             0,
         ));
         let mut fe = Frontend::new(FrontendConfig::table1(), HintSpy::default());
-        fe.set_hints(HashMap::from([(0x100u64, 2u8)]));
+        fe.set_hints([(0x100u64, 2u8)].into_iter().collect());
         fe.run(&trace, None);
         assert_eq!(*fe.btb().policy().seen.borrow(), vec![2, 0]);
     }

@@ -14,7 +14,7 @@
 //! in data center applications (paper §2.2) — which is why its speedup in
 //! Fig. 4 is small, and why it can even hurt by polluting the BTB.
 
-use std::collections::HashMap;
+use sim_support::DetHashMap;
 
 use btb_model::{AccessOutcome, BtbInterface};
 use btb_trace::{BranchKind, BranchRecord};
@@ -28,10 +28,11 @@ const BUNDLE_CAP: usize = 8;
 /// The Confluence-lite prefetcher.
 #[derive(Clone, Debug, Default)]
 pub struct Confluence {
-    /// Code block → branches within it.
-    bundles: HashMap<u64, Vec<(u64, u64, BranchKind)>>,
+    /// Code block → branches within it. Looked up per branch online (hot);
+    /// never iterated, so the seeded map is safe.
+    bundles: DetHashMap<u64, Vec<(u64, u64, BranchKind)>>,
     /// Temporal stream: block → next block observed.
-    successor: HashMap<u64, u64>,
+    successor: DetHashMap<u64, u64>,
     last_block: Option<u64>,
     /// Blocks of stream replayed per miss.
     depth: usize,

@@ -15,7 +15,7 @@
 //!    usable entry budget,
 //! 3. temporal novelty still defeats the region predictor.
 
-use std::collections::HashMap;
+use sim_support::DetHashMap;
 
 use btb_model::{
     AccessContext, AccessOutcome, Btb, BtbConfig, BtbEntry, BtbInterface, BtbStats,
@@ -39,7 +39,9 @@ pub struct ShotgunBtb<P> {
     ubtb: Btb<P>,
     cbtb: Btb<P>,
     /// Region start block → conditional branches inside the region.
-    regions: HashMap<u64, Vec<(u64, u64)>>,
+    /// Looked up per access (hot); never iterated, so the seeded map is
+    /// safe.
+    regions: DetHashMap<u64, Vec<(u64, u64)>>,
     /// Prefetch fills issued.
     pub issued: u64,
 }
@@ -63,7 +65,7 @@ impl<P: ReplacementPolicy> ShotgunBtb<P> {
         Self {
             ubtb: Btb::new(BtbConfig::new(u_entries, ways), policy_u),
             cbtb: Btb::new(BtbConfig::new(c_entries, ways), policy_c),
-            regions: HashMap::new(),
+            regions: DetHashMap::default(),
             issued: 0,
         }
     }

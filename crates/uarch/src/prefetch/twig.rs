@@ -11,7 +11,9 @@
 //! prefetching and replacement attack different miss classes, so their
 //! benefits stack.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+use sim_support::DetHashMap;
 
 use btb_model::{policies::Lru, AccessOutcome, Btb, BtbConfig, BtbInterface};
 use btb_trace::{BranchKind, BranchRecord, Trace};
@@ -26,8 +28,9 @@ const BUFFER_CAP: usize = 32;
 /// The trained Twig prefetcher.
 #[derive(Clone, Debug, Default)]
 pub struct TwigPrefetcher {
-    /// Trigger PC → entries to prefetch when it executes.
-    table: HashMap<u64, Vec<(u64, u64, BranchKind)>>,
+    /// Trigger PC → entries to prefetch when it executes. Looked up per
+    /// branch online (hot); never iterated, so the seeded map is safe.
+    table: DetHashMap<u64, Vec<(u64, u64, BranchKind)>>,
     /// Staging buffer: prefetches live here until used or displaced, so
     /// speculative entries never fight the main BTB's replacement policy.
     buffer: VecDeque<(u64, u64, BranchKind)>,
@@ -44,7 +47,7 @@ impl TwigPrefetcher {
     pub fn train(profile: &Trace, config: BtbConfig, lookahead: usize) -> Self {
         let mut btb = Btb::new(config, Lru::new());
         let mut window: Vec<&BranchRecord> = Vec::new();
-        let mut table: HashMap<u64, Vec<(u64, u64, BranchKind)>> = HashMap::new();
+        let mut table: DetHashMap<u64, Vec<(u64, u64, BranchKind)>> = DetHashMap::default();
 
         for r in profile.taken() {
             let outcome = btb.access_taken(r.pc, r.target, r.kind, u64::MAX);

@@ -9,9 +9,7 @@
 //! non-recurring miss streams that defeat temporal BTB prefetchers
 //! (paper §2.2).
 
-use std::collections::HashMap;
-
-use sim_support::SimRng;
+use sim_support::{DetHashMap, SimRng};
 
 use crate::program::{BlockId, FuncId, Program, Terminator};
 use crate::spec::AppSpec;
@@ -33,6 +31,7 @@ const REQUEST_CAP: usize = 40_000;
 /// request mixes change in the mid-range while the top endpoints stay on
 /// top (the paper's profiles drift slowly, §1).
 fn input_swaps_rank(rank: usize, input_id: u32) -> bool {
+    // simlint: allow(D04) -- THERMO_NO_SWAPS is a documented experiment knob (EXPERIMENTS.md)
     if rank < 4 || std::env::var("THERMO_NO_SWAPS").is_ok() {
         return false;
     }
@@ -83,14 +82,15 @@ pub struct Executor<'p> {
     /// Input-specific data-dependent stream.
     rng: SimRng,
     handler_zipf: Zipf,
-    /// Zipf samplers for indirect sites, cached by fanout.
-    fanout_zipf: HashMap<usize, Zipf>,
+    /// Zipf samplers for indirect sites, cached by fanout. Lookup-only
+    /// caches (never iterated), so the seeded O(1) map is safe.
+    fanout_zipf: DetHashMap<usize, Zipf>,
     requests: u64,
     rotation: usize,
     /// Primary handler of the current request burst.
     burst_primary: usize,
     /// Per-site bias accumulators for patterned conditionals.
-    cond_acc: HashMap<u64, f64>,
+    cond_acc: DetHashMap<u64, f64>,
 }
 
 impl<'p> Executor<'p> {
@@ -116,11 +116,11 @@ impl<'p> Executor<'p> {
             driver_rng: SimRng::seed_from_u64(driver_seed),
             rng: SimRng::seed_from_u64(seed),
             handler_zipf: Zipf::new(program.handlers.len(), spec.handler_zipf),
-            fanout_zipf: HashMap::new(),
+            fanout_zipf: DetHashMap::default(),
             requests: 0,
             rotation: 0,
             burst_primary: 0,
-            cond_acc: HashMap::new(),
+            cond_acc: DetHashMap::default(),
         }
     }
 
@@ -341,7 +341,7 @@ impl<'p> Executor<'p> {
     /// Emits a call record and descends into `callee`; at the depth cap or
     /// when the request's call budget is spent the callee is elided but the
     /// call/return pair stays balanced for RAS consistency.
-    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::too_many_arguments)] // flattening the interpreter's branch-emission state into a struct would obscure the call protocol
     fn do_call(
         &mut self,
         pc: u64,

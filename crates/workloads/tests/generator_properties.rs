@@ -96,7 +96,7 @@ fn taken_targets_are_block_starts_within_function_control_flow() {
         ..AppSpec::by_name("kafka").unwrap()
     };
     let program = spec.build_program();
-    let mut starts = std::collections::HashSet::new();
+    let mut starts = std::collections::BTreeSet::new();
     for f in &program.functions {
         for b in &f.blocks {
             starts.insert(b.pc - u64::from(b.inst_gap) * 4);
@@ -155,7 +155,7 @@ fn handler_zipf_skews_dispatch() {
         };
         let trace = spec.generate(InputConfig::input(0), 40_000);
         // Count dispatches per handler entry (driver indirect call target).
-        let mut counts = std::collections::HashMap::new();
+        let mut counts = std::collections::BTreeMap::new();
         for r in trace.records().iter().filter(|r| r.pc == 0x0020_0000) {
             *counts.entry(r.target).or_insert(0u64) += 1;
         }

@@ -29,9 +29,9 @@ fn main() {
     );
     let hist = hints.category_histogram();
     println!(
-        "profiled {} branches in {:.2?}: {} cold / {} warm / {} hot",
+        "profiled {} branches over {} OPT-replayed accesses: {} cold / {} warm / {} hot",
         profile.unique_branches(),
-        profile.simulation_time,
+        profile.accesses,
         hist[0],
         hist[1],
         hist[2],

@@ -18,6 +18,9 @@ cargo fmt --all --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> simlint (determinism & safety rules)"
+cargo run -p simlint --release -- --format json
+
 echo "==> cargo build --release"
 cargo build --workspace --release
 

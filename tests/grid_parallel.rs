@@ -8,13 +8,14 @@
 //! every test here serializes on one mutex and restores the default before
 //! returning.
 
-use std::sync::Mutex;
+use std::sync::Mutex; // simlint: allow(D03) -- serializes tests that flip process-global config
 
 use sim_support::pool;
 use thermometer_bench::{figure_by_id, grid, Scale};
 
 /// Serializes the tests in this binary: they flip process-global executor
 /// configuration.
+// simlint: allow(D03) -- test-only serialization lock, not simulator state
 static EXCLUSIVE: Mutex<()> = Mutex::new(());
 
 /// Restores the default thread configuration even if an assertion fails.

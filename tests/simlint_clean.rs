@@ -1,0 +1,65 @@
+//! Workspace self-check: the repository must lint clean under its own
+//! static-analysis tool, using the checked-in `simlint.toml`. This is the
+//! executable form of the determinism contract — any new `HashMap` with a
+//! default hasher, stray `Instant::now()`, ad-hoc thread, undocumented
+//! env knob, naked `unsafe`, or unjustified `#[allow]` fails CI here.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    // This test is hosted by crates/simlint, so the workspace root is two
+    // levels up from its manifest dir.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let config = simlint::load_config(&root).expect("simlint.toml parses");
+    let diags = simlint::run(&root, &config).expect("workspace walk succeeds");
+    assert!(
+        diags.is_empty(),
+        "workspace has unsuppressed lint findings:\n{}",
+        simlint::render_text(&diags)
+    );
+}
+
+#[test]
+fn central_allowlist_entries_all_carry_reasons() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let config = simlint::load_config(&root).expect("simlint.toml parses");
+    for (rule, allows) in &config.allows {
+        for a in allows {
+            assert!(
+                !a.reason.trim().is_empty(),
+                "allow for {rule} at {} lacks a reason",
+                a.path
+            );
+            assert!(
+                root.join(&a.path).exists(),
+                "allow for {rule} points at a missing path: {}",
+                a.path
+            );
+        }
+    }
+}
+
+#[test]
+fn fixture_violations_are_real() {
+    // Guard against the exclusion list rotting: the excluded fixtures must
+    // actually contain violations the workspace walk would otherwise flag.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let config = simlint::load_config(&root).expect("simlint.toml parses");
+    let fixtures = root.join("crates/simlint/tests/fixtures");
+    for (name, rel, rule) in [
+        ("d01_hit.rs", "crates/btb/src/f.rs", "D01"),
+        ("d02_hit.rs", "crates/core/src/f.rs", "D02"),
+        ("d03_hit.rs", "tests/f.rs", "D03"),
+        ("d04_hit.rs", "crates/bench/src/f.rs", "D04"),
+        ("s01_hit.rs", "crates/core/src/f.rs", "S01"),
+        ("s02_hit.rs", "crates/core/src/f.rs", "S02"),
+    ] {
+        let text = std::fs::read_to_string(fixtures.join(name)).expect(name);
+        let diags = simlint::lint_source(rel, &text, &config);
+        assert!(
+            diags.iter().any(|d| d.rule == rule),
+            "{name} should trip {rule}"
+        );
+    }
+}
