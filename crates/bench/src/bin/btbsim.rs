@@ -83,6 +83,9 @@ fn main() {
     let reports = pool::par_map(&policies, |_, name| {
         pipeline
             .run_named(&trace, name, hints.as_ref())
+            // justified expect: every policy name was checked against
+            // POLICY_NAMES during argument parsing (load() exits with
+            // usage() on an unknown name), so run_named cannot miss here.
             .expect("validated above")
     });
     for (i, report) in reports.iter().enumerate() {

@@ -5,6 +5,8 @@
 //! figures fig11 fig12          # specific figures
 //! figures all --markdown out.md  # also write a Markdown report
 //! figures all --threads 8      # scatter cells over 8 workers
+//! figures all --quarantine --max-retries 1   # survive bad cells
+//! figures all --resume         # splice in work from a crashed run
 //! ```
 //!
 //! Scale knobs: `THERMO_TRACE_LEN`, `THERMO_CBP_COUNT`, `THERMO_CBP_LEN`,
@@ -13,12 +15,20 @@
 //! parallelism; 1 = serial). Output is byte-identical at any width; per-cell
 //! wall-time/throughput observability lands in `results/grid_stats.json`
 //! (override with `--grid-stats <path>`).
+//!
+//! Fault tolerance (see DESIGN.md §9): every run checkpoints completed
+//! figures into `results/grid_journal.jsonl` (`--journal <path>` to move
+//! it). `--quarantine` isolates panicking cells — they are dropped from
+//! their figure and recorded in `grid_stats.json` instead of aborting the
+//! run; `--max-retries N` grants transiently failing cells N extra
+//! attempts. `--resume` replays journaled figures byte-for-byte and
+//! recomputes only the rest. `--fault-plan <spec>` injects deterministic
+//! faults (see `sim_support::fault`) — the crash-resume CI stage uses it.
 
-use std::io::Write;
 use std::time::Instant;
 
-use sim_support::pool;
-use thermometer_bench::{figure_by_id, grid, FigureResult, Scale, FIGURE_IDS};
+use sim_support::{fault, fsio, pool};
+use thermometer_bench::{figure_by_id, grid, journal, Journal, Scale, FIGURE_IDS};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -26,6 +36,15 @@ fn main() {
     let mut markdown_path: Option<String> = None;
     let mut grid_stats_path =
         concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/grid_stats.json").to_owned();
+    let mut journal_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../results/grid_journal.jsonl"
+    )
+    .to_owned();
+    let mut resume = false;
+    let mut quarantine = false;
+    let mut max_retries: u32 = 0;
+    let mut fault_plan: Option<String> = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -51,6 +70,26 @@ fn main() {
                     .next()
                     .unwrap_or_else(|| usage("missing path after --grid-stats"));
             }
+            "--journal" => {
+                journal_path = iter
+                    .next()
+                    .unwrap_or_else(|| usage("missing path after --journal"));
+            }
+            "--resume" => resume = true,
+            "--quarantine" => quarantine = true,
+            "--max-retries" => {
+                max_retries = iter
+                    .next()
+                    .unwrap_or_else(|| usage("missing count after --max-retries"))
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --max-retries"));
+            }
+            "--fault-plan" => {
+                fault_plan = Some(
+                    iter.next()
+                        .unwrap_or_else(|| usage("missing spec after --fault-plan")),
+                );
+            }
             "--help" | "-h" => usage(""),
             other => ids.push(other.to_owned()),
         }
@@ -60,6 +99,20 @@ fn main() {
     }
     if ids.iter().any(|id| id == "all") {
         ids = FIGURE_IDS.iter().map(|s| s.to_string()).collect();
+    }
+
+    if let Some(spec) = &fault_plan {
+        let plan = sim_support::FaultPlan::parse(spec).unwrap_or_else(|e| usage(&e));
+        fault::install(plan);
+    }
+    if quarantine {
+        grid::set_fault_policy(grid::FaultPolicy {
+            isolate: true,
+            max_retries,
+        });
+        // Quarantined cells report through grid_stats.json; the default
+        // multi-line panic hook would only drown the run log.
+        fault::silence_injected_panics();
     }
 
     let scale = Scale::from_env();
@@ -75,17 +128,83 @@ fn main() {
         threads,
         if threads == 1 { " (serial)" } else { "s" }
     );
+
+    // Checkpoint journal: resume loads it, everything else starts fresh.
+    let fingerprint = journal::run_fingerprint(&scale, &ids);
+    let journal = Journal::new(&journal_path);
+    let replayed = if resume {
+        match journal.load(&fingerprint) {
+            Ok(Some(loaded)) => {
+                eprintln!(
+                    "resume: {} figure(s) replayed from {journal_path}",
+                    loaded.figures.len()
+                );
+                loaded
+            }
+            Ok(None) => {
+                eprintln!("resume: no usable journal at {journal_path}; starting fresh");
+                if let Err(e) = journal.start(&fingerprint) {
+                    eprintln!("cannot start journal {journal_path}: {e}");
+                }
+                journal::Loaded::default()
+            }
+            Err(e) => {
+                eprintln!("cannot read journal {journal_path}: {e}; starting fresh");
+                if let Err(e) = journal.start(&fingerprint) {
+                    eprintln!("cannot start journal {journal_path}: {e}");
+                }
+                journal::Loaded::default()
+            }
+        }
+    } else {
+        if let Err(e) = journal.start(&fingerprint) {
+            eprintln!("cannot start journal {journal_path}: {e}");
+        }
+        journal::Loaded::default()
+    };
+
+    // Every settled cell appends one fsync'd journal line, in canonical
+    // order, from the gathering thread.
+    {
+        let hook_journal = Journal::new(&journal_path);
+        grid::set_cell_hook(Some(Box::new(move |outcome| {
+            if let Err(e) = hook_journal.append_cell(&outcome) {
+                eprintln!("journal append failed: {e}");
+            }
+        })));
+    }
+
     grid::reset_stats();
+    for q in &replayed.quarantined {
+        // Re-surface quarantine records of replayed figures so a resumed
+        // run's grid_stats.json still names every dropped cell.
+        grid::record_quarantined(q.clone());
+    }
     let run_start = Instant::now();
 
-    let mut results: Vec<FigureResult> = Vec::new();
+    let mut replayed_count = 0usize;
+    let mut sections: Vec<String> = Vec::new();
     for id in &ids {
+        if let Some(figure) = replayed.figure(id) {
+            print!("{}", figure.display);
+            sections.push(figure.markdown.clone());
+            replayed_count += 1;
+            eprintln!("[{id} replayed from journal]");
+            continue;
+        }
         let start = Instant::now();
         match figure_by_id(id, &scale) {
             Some(figs) => {
+                let mut display = String::new();
+                let mut markdown = String::new();
                 for fig in figs {
-                    println!("{fig}");
-                    results.push(fig);
+                    display.push_str(&format!("{fig}\n"));
+                    markdown.push_str(&fig.to_markdown());
+                }
+                print!("{display}");
+                sections.push(markdown.clone());
+                if let Err(e) = journal.append_figure(id, &display, &markdown) {
+                    eprintln!("journal commit failed for {id}: {e}");
                 }
                 eprintln!("[{id} done in {:.1?}]", start.elapsed());
             }
@@ -95,10 +214,12 @@ fn main() {
             }
         }
     }
+    grid::set_cell_hook(None);
 
     let total_wall_ms = run_start.elapsed().as_secs_f64() * 1e3;
     let cells = grid::take_stats();
-    let notes = [format!(
+    let quarantined = grid::take_quarantined();
+    let mut notes = vec![format!(
         "{} cells over {} thread{} in {:.1} s; speedup scales with cores because cells are \
          independent (tests/grid_parallel.rs proves output is identical at any width)",
         cells.len(),
@@ -106,8 +227,26 @@ fn main() {
         if threads == 1 { "" } else { "s" },
         total_wall_ms / 1e3
     )];
+    if replayed_count > 0 {
+        notes.push(format!(
+            "{replayed_count} figure(s) replayed byte-for-byte from the checkpoint journal"
+        ));
+    }
+    if !quarantined.is_empty() {
+        notes.push(format!(
+            "{} cell(s) quarantined; see the quarantined section",
+            quarantined.len()
+        ));
+    }
     let stats_path = std::path::Path::new(&grid_stats_path);
-    match grid::write_grid_stats(stats_path, threads, total_wall_ms, &notes, &cells) {
+    match grid::write_grid_stats(
+        stats_path,
+        threads,
+        total_wall_ms,
+        &notes,
+        &cells,
+        &quarantined,
+    ) {
         Ok(()) => eprintln!("wrote {grid_stats_path}"),
         Err(e) => eprintln!("failed to write {grid_stats_path}: {e}"),
     }
@@ -123,15 +262,17 @@ fn main() {
             scale.ipc1_count,
             scale.ipc1_len
         ));
-        for fig in &results {
-            out.push_str(&fig.to_markdown());
+        for section in &sections {
+            out.push_str(section);
         }
-        std::fs::File::create(&path)
-            .and_then(|mut f| f.write_all(out.as_bytes()))
-            .unwrap_or_else(|e| {
+        // Atomic + bounded retry: a kill can truncate neither report, and
+        // injected transient I/O faults are retried rather than fatal.
+        fsio::write_atomic_retry(std::path::Path::new(&path), out.as_bytes(), 3).unwrap_or_else(
+            |e| {
                 eprintln!("failed to write {path}: {e}");
                 std::process::exit(1);
-            });
+            },
+        );
         eprintln!("wrote {path}");
     }
 }
@@ -142,7 +283,8 @@ fn usage(error: &str) -> ! {
     }
     eprintln!(
         "usage: figures <fig01|...|fig21|all>... [--markdown <path>] [--threads N] \
-         [--grid-stats <path>]"
+         [--grid-stats <path>] [--journal <path>] [--resume] [--quarantine] \
+         [--max-retries N] [--fault-plan <spec>]"
     );
     std::process::exit(if error.is_empty() { 0 } else { 2 });
 }

@@ -58,8 +58,8 @@ pub fn fig17(scale: &Scale) -> FigureResult {
 
     let mut fixed: Vec<f64> = per_trace.iter().map(|t| t.0).collect();
     let mut cv: Vec<f64> = per_trace.iter().map(|t| t.1).collect();
-    fixed.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
-    cv.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    fixed.sort_by(|a, b| a.total_cmp(b));
+    cv.sort_by(|a, b| a.total_cmp(b));
 
     let rows = PERCENTILES
         .iter()
@@ -140,7 +140,7 @@ pub fn fig18(scale: &Scale) -> FigureResult {
         let values = (0..columns.len())
             .map(|c| {
                 let mut col: Vec<f64> = per_trace.iter().map(|(s, _)| s[c]).collect();
-                col.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+                col.sort_by(|a, b| a.total_cmp(b));
                 percentile(&col, q)
             })
             .collect();

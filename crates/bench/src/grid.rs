@@ -29,14 +29,27 @@
 //! [`note_accesses`]) and the pool queue depth at dispatch into a
 //! process-wide registry; the `figures` binary drains it into
 //! `results/grid_stats.json` via [`write_grid_stats`].
+//!
+//! # Fault tolerance
+//!
+//! By default a panicking cell aborts the whole figure (the pre-PR-5
+//! behaviour, which unit tests rely on). The `figures` binary instead
+//! installs a [`FaultPolicy`] with `isolate = true`: each cell then runs
+//! through [`sim_support::fault::isolated`], transient failures are retried
+//! up to `max_retries` times (the cell RNG is re-seeded per attempt, so a
+//! retry reproduces the clean-run result bit-for-bit), poison cells are
+//! recorded in the [quarantine registry](take_quarantined) and dropped from
+//! the gathered output, and fatal errors still abort. The per-cell
+//! [hook](set_cell_hook) fires in canonical order on the gathering thread —
+//! the `figures` binary uses it to append checkpoint-journal lines.
 
 use std::cell::RefCell;
-use std::io::Write as _;
 use std::path::Path;
 use std::sync::Mutex; // simlint: allow(D03) -- guards the telemetry registry, drained in canonical cell order
 use std::time::Instant;
 
-use sim_support::{pool, SimRng};
+use sim_support::fault::{self, FaultClass, SimError};
+use sim_support::{fsio, pool, SimRng};
 
 /// Seed folded with the figure id to root each figure's cell-RNG tree.
 const GRID_SEED: u64 = 0x6e1d_5eed_b7b2_0221;
@@ -60,7 +73,48 @@ pub struct CellStat {
     pub accesses_per_sec: f64,
     /// Pool jobs still queued when this cell started (0 on the serial path).
     pub queue_depth: usize,
+    /// Attempts the cell took (1 unless a transient fault was retried).
+    pub attempts: u32,
 }
+
+/// How `run_cells` treats a failing cell. The default (`isolate = false`)
+/// propagates the first panic, exactly like the pre-fault-tolerance grid.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultPolicy {
+    /// Catch per-cell panics instead of propagating them.
+    pub isolate: bool,
+    /// Extra attempts granted to transiently failing cells.
+    pub max_retries: u32,
+}
+
+/// A cell dropped from its figure after exhausting its options: poison, or
+/// transient with the retry budget spent. Recorded in `grid_stats.json`.
+#[derive(Clone, Debug)]
+pub struct Quarantined {
+    /// Figure id the cell belonged to.
+    pub figure: String,
+    /// Human label for the cell.
+    pub label: String,
+    /// Canonical index of the cell within its figure grid.
+    pub index: usize,
+    /// Final failure class (never `Fatal` — fatal aborts instead).
+    pub class: FaultClass,
+    /// Root-cause message from the classified failure.
+    pub reason: String,
+    /// Attempts executed before giving up.
+    pub attempts: u32,
+}
+
+/// Per-cell outcome passed to the [hook](set_cell_hook), in canonical order.
+pub enum CellOutcome<'a> {
+    /// The cell completed and its value was gathered.
+    Completed(&'a CellStat),
+    /// The cell was quarantined and its value dropped.
+    Quarantined(&'a Quarantined),
+}
+
+/// Callback invoked once per gathered cell on the submitting thread.
+pub type CellHook = Box<dyn Fn(CellOutcome<'_>) + Send + Sync>;
 
 struct ActiveCell {
     accesses: u64,
@@ -76,6 +130,47 @@ thread_local! {
 
 // simlint: allow(D03) -- wall-clock telemetry only; simulated results never read this registry
 static STATS: Mutex<Vec<CellStat>> = Mutex::new(Vec::new());
+// simlint: allow(D03) -- failure telemetry, pushed in canonical gather order
+static QUARANTINE: Mutex<Vec<Quarantined>> = Mutex::new(Vec::new());
+// simlint: allow(D03) -- run configuration, written once by the binary before the grid starts
+static POLICY: Mutex<FaultPolicy> = Mutex::new(FaultPolicy {
+    isolate: false,
+    max_retries: 0,
+});
+// simlint: allow(D03) -- journal hook; invoked serially on the gathering thread only
+static CELL_HOOK: Mutex<Option<CellHook>> = Mutex::new(None);
+
+/// Installs the process-wide [`FaultPolicy`]. Takes effect on the next
+/// `run_cells` call.
+pub fn set_fault_policy(policy: FaultPolicy) {
+    *POLICY.lock().expect("fault policy poisoned") = policy;
+}
+
+/// The currently installed [`FaultPolicy`].
+pub fn fault_policy() -> FaultPolicy {
+    *POLICY.lock().expect("fault policy poisoned")
+}
+
+/// Installs (or clears) the per-cell outcome hook. The grid calls it once
+/// per cell, in canonical order, from the thread that called `run_cells`.
+pub fn set_cell_hook(hook: Option<CellHook>) {
+    *CELL_HOOK.lock().expect("cell hook poisoned") = hook;
+}
+
+/// Drains the quarantine registry (records since the last drain/reset).
+pub fn take_quarantined() -> Vec<Quarantined> {
+    std::mem::take(&mut *QUARANTINE.lock().expect("quarantine registry poisoned"))
+}
+
+/// Pushes an externally sourced quarantine record — used by `--resume` to
+/// re-surface records recovered from the checkpoint journal so the final
+/// `grid_stats.json` still names every dropped cell.
+pub fn record_quarantined(record: Quarantined) {
+    QUARANTINE
+        .lock()
+        .expect("quarantine registry poisoned")
+        .push(record);
+}
 
 /// Credits `n` simulated accesses to the currently running cell. A no-op
 /// outside a cell (unit tests calling figure helpers directly).
@@ -111,12 +206,18 @@ where
     // stream depends only on (figure, i) — never on execution order.
     let mut parent = SimRng::seed_from_u64(GRID_SEED ^ fnv1a(figure.as_bytes()));
     let seeds: Vec<u64> = items.iter().map(|_| parent.next_u64()).collect();
+    let policy = fault_policy();
 
     let pool_handle = pool::handle();
-    let run_one = |index: usize, item: &I| -> (T, CellStat) {
+    let run_one = |index: usize, item: &I, attempt: u32| -> (T, CellStat) {
+        // Injection checkpoint: panics with a SimError payload when the
+        // installed fault plan targets this cell. No-op without a plan.
+        fault::cell_attempt(figure, index, attempt);
         let queue_depth = pool_handle.as_ref().map_or(0, |p| p.queued());
         // Save/restore rather than set/clear: a worker that help-runs other
         // queued cells while one of its own waits must not lose its context.
+        // Re-seeding from seeds[index] on every attempt keeps a retried
+        // cell's stream identical to a clean first run.
         let previous = ACTIVE.replace(Some(ActiveCell {
             accesses: 0,
             rng: SimRng::seed_from_u64(seeds[index]),
@@ -139,35 +240,122 @@ where
             accesses: cell.accesses,
             accesses_per_sec,
             queue_depth,
+            attempts: attempt + 1,
         };
         (value, stat)
     };
 
-    let gathered: Vec<(T, CellStat)> = match &pool_handle {
-        Some(p) => p.par_map(items, run_one),
-        None => {
-            // Serial path; honor the permuted-order regression hook.
-            let mut slots: Vec<Option<(T, CellStat)>> = Vec::with_capacity(items.len());
-            slots.resize_with(items.len(), || None);
-            let mut order: Vec<usize> = (0..items.len()).collect();
-            if REVERSE_SERIAL.get() {
-                order.reverse();
+    // A panicking cell leaves the ACTIVE context of the unwound attempt
+    // behind on its worker thread; the save/restore in run_one only runs to
+    // completion on non-panicking attempts. That is safe — the next attempt
+    // (or the next cell on that worker) replaces the slot wholesale — but it
+    // is why run_one must never observe a previous attempt's context.
+    let gathered: Vec<Result<(T, CellStat), (SimError, u32)>> = if policy.isolate {
+        let isolated = match &pool_handle {
+            Some(p) => p.try_par_map(items, policy.max_retries, |i, item, attempt| {
+                run_one(i, item, attempt)
+            }),
+            None => {
+                // Serial path; honor the permuted-order regression hook.
+                let mut slots = Vec::with_capacity(items.len());
+                slots.resize_with(items.len(), || None);
+                let mut order: Vec<usize> = (0..items.len()).collect();
+                if REVERSE_SERIAL.get() {
+                    order.reverse();
+                }
+                for index in order {
+                    slots[index] = Some(fault::isolated(policy.max_retries, |attempt| {
+                        run_one(index, &items[index], attempt)
+                    }));
+                }
+                slots
+                    .into_iter()
+                    .map(|slot| slot.expect("every cell ran"))
+                    .collect()
             }
-            for index in order {
-                slots[index] = Some(run_one(index, &items[index]));
+        };
+        isolated
+            .into_iter()
+            .map(|cell| {
+                let attempts = cell.attempts;
+                match cell.result {
+                    Ok((value, mut stat)) => {
+                        stat.attempts = attempts;
+                        Ok((value, stat))
+                    }
+                    Err(err) => Err((err, attempts)),
+                }
+            })
+            .collect()
+    } else {
+        let plain = match &pool_handle {
+            Some(p) => p.par_map(items, |i, item| run_one(i, item, 0)),
+            None => {
+                let mut slots: Vec<Option<(T, CellStat)>> = Vec::with_capacity(items.len());
+                slots.resize_with(items.len(), || None);
+                let mut order: Vec<usize> = (0..items.len()).collect();
+                if REVERSE_SERIAL.get() {
+                    order.reverse();
+                }
+                for index in order {
+                    slots[index] = Some(run_one(index, &items[index], 0));
+                }
+                slots
+                    .into_iter()
+                    .map(|slot| slot.expect("every cell ran"))
+                    .collect()
             }
-            slots
-                .into_iter()
-                .map(|slot| slot.expect("every cell ran"))
-                .collect()
-        }
+        };
+        plain.into_iter().map(Ok).collect()
     };
 
+    // Gather: canonical (submission) order. The hook and the crash
+    // checkpoint run here, on this thread, so journal lines and simulated
+    // crash points are as deterministic as the results themselves.
     let mut values = Vec::with_capacity(gathered.len());
-    let mut stats = STATS.lock().expect("grid stats registry poisoned");
-    for (value, stat) in gathered {
-        stats.push(stat); // canonical order: gathered is submission-ordered
-        values.push(value);
+    for (index, outcome) in gathered.into_iter().enumerate() {
+        match outcome {
+            Ok((value, stat)) => {
+                {
+                    let hook = CELL_HOOK.lock().expect("cell hook poisoned");
+                    if let Some(hook) = hook.as_ref() {
+                        hook(CellOutcome::Completed(&stat));
+                    }
+                }
+                STATS
+                    .lock()
+                    .expect("grid stats registry poisoned")
+                    .push(stat);
+                values.push(value);
+            }
+            Err((err, _)) if err.class == FaultClass::Fatal => {
+                // Fatal means the run is compromised; re-raise rather than
+                // pretend a partial grid is a result.
+                std::panic::panic_any(err);
+            }
+            Err((err, attempts)) => {
+                let record = Quarantined {
+                    figure: figure.to_string(),
+                    label: label(&items[index]),
+                    index,
+                    class: err.class,
+                    reason: err.message,
+                    attempts,
+                };
+                {
+                    let hook = CELL_HOOK.lock().expect("cell hook poisoned");
+                    if let Some(hook) = hook.as_ref() {
+                        hook(CellOutcome::Quarantined(&record));
+                    }
+                }
+                QUARANTINE
+                    .lock()
+                    .expect("quarantine registry poisoned")
+                    .push(record);
+            }
+        }
+        // Crash checkpoint for `exit-after=N` fault plans.
+        fault::cell_completed();
     }
     values
 }
@@ -187,9 +375,13 @@ pub fn with_reversed_serial_order<R>(f: impl FnOnce() -> R) -> R {
     f()
 }
 
-/// Clears the cell-stat registry (start of a measured run).
+/// Clears the cell-stat and quarantine registries (start of a measured run).
 pub fn reset_stats() {
     STATS.lock().expect("grid stats registry poisoned").clear();
+    QUARANTINE
+        .lock()
+        .expect("quarantine registry poisoned")
+        .clear();
 }
 
 /// Drains and returns every cell stat recorded since the last reset.
@@ -205,16 +397,19 @@ pub fn write_grid_stats(
     total_wall_ms: f64,
     notes: &[String],
     cells: &[CellStat],
+    quarantined: &[Quarantined],
 ) -> std::io::Result<()> {
-    if let Some(dir) = path.parent() {
-        std::fs::create_dir_all(dir)?;
-    }
+    let escape = fsio::json_escape;
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"threads\": {threads},\n"));
     out.push_str(&format!("  \"total_wall_ms\": {total_wall_ms:.3},\n"));
     let cell_wall: f64 = cells.iter().map(|c| c.wall_ms).sum();
     out.push_str(&format!("  \"cell_wall_ms\": {cell_wall:.3},\n"));
     out.push_str(&format!("  \"cells_run\": {},\n", cells.len()));
+    out.push_str(&format!(
+        "  \"cells_quarantined\": {},\n",
+        quarantined.len()
+    ));
     if let Some(pool) = pool::handle() {
         let stats = pool.stats();
         out.push_str(&format!(
@@ -229,29 +424,41 @@ pub fn write_grid_stats(
         out.push_str(&format!("    \"{}\"{comma}\n", escape(note)));
     }
     out.push_str("  ],\n");
+    out.push_str("  \"quarantined\": [\n");
+    for (i, q) in quarantined.iter().enumerate() {
+        let comma = if i + 1 < quarantined.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{ \"figure\": \"{}\", \"label\": \"{}\", \"index\": {}, \
+             \"class\": \"{}\", \"reason\": \"{}\", \"attempts\": {} }}{comma}\n",
+            escape(&q.figure),
+            escape(&q.label),
+            q.index,
+            q.class,
+            escape(&q.reason),
+            q.attempts
+        ));
+    }
+    out.push_str("  ],\n");
     out.push_str("  \"cells\": [\n");
     for (i, cell) in cells.iter().enumerate() {
         let comma = if i + 1 < cells.len() { "," } else { "" };
         out.push_str(&format!(
             "    {{ \"figure\": \"{}\", \"label\": \"{}\", \"index\": {}, \
              \"wall_ms\": {:.3}, \"accesses\": {}, \"accesses_per_sec\": {:.0}, \
-             \"queue_depth\": {} }}{comma}\n",
+             \"queue_depth\": {}, \"attempts\": {} }}{comma}\n",
             escape(&cell.figure),
             escape(&cell.label),
             cell.index,
             cell.wall_ms,
             cell.accesses,
             cell.accesses_per_sec,
-            cell.queue_depth
+            cell.queue_depth,
+            cell.attempts
         ));
     }
     out.push_str("  ]\n}\n");
-    let mut file = std::fs::File::create(path)?;
-    file.write_all(out.as_bytes())
-}
-
-fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+    // Atomic: a run killed mid-write must never leave a truncated stats file.
+    fsio::write_atomic(path, out.as_bytes())
 }
 
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -320,8 +527,110 @@ mod tests {
         assert_ne!(a[0], a[1], "cells never share a stream");
     }
 
+    /// Serializes tests that touch the process-global fault policy/plan.
+    // simlint: allow(D03) -- test-only serialization of global-policy tests
+    static POLICY_TESTS: Mutex<()> = Mutex::new(());
+
+    fn policy_test_lock() -> std::sync::MutexGuard<'static, ()> {
+        // A previous test may have panicked while holding the lock (that is
+        // the point of the propagate test); the guard state itself is ().
+        POLICY_TESTS.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Restores the default propagate-panics policy even on test failure.
+    struct ResetPolicy;
+    impl Drop for ResetPolicy {
+        fn drop(&mut self) {
+            set_fault_policy(FaultPolicy::default());
+            sim_support::fault::clear();
+        }
+    }
+
+    #[test]
+    fn isolation_quarantines_poison_and_keeps_siblings() {
+        let _lock = policy_test_lock();
+        let _reset = ResetPolicy;
+        set_fault_policy(FaultPolicy {
+            isolate: true,
+            max_retries: 1,
+        });
+        sim_support::fault::install(
+            sim_support::FaultPlan::parse("panic=unit-iso:2:poison").unwrap(),
+        );
+        let items: Vec<usize> = (0..5).collect();
+        let clean_minus_cell2: Vec<usize> = vec![0, 10, 30, 40];
+        let out = run_cells("unit-iso", &items, |i| i.to_string(), |&i| i * 10);
+        assert_eq!(out, clean_minus_cell2, "only the poison cell is dropped");
+        let quarantined = take_quarantined();
+        let record = quarantined
+            .iter()
+            .find(|q| q.figure == "unit-iso")
+            .expect("quarantine recorded");
+        assert_eq!(record.index, 2);
+        assert_eq!(record.class, FaultClass::Poison);
+        assert_eq!(record.attempts, 1, "poison is not retried");
+        assert!(record.reason.contains("injected"), "{}", record.reason);
+    }
+
+    #[test]
+    fn isolation_retries_transient_to_success() {
+        let _lock = policy_test_lock();
+        let _reset = ResetPolicy;
+        set_fault_policy(FaultPolicy {
+            isolate: true,
+            max_retries: 1,
+        });
+        sim_support::fault::install(
+            sim_support::FaultPlan::parse("panic=unit-retry:1:transient").unwrap(),
+        );
+        reset_stats();
+        let items: Vec<usize> = (0..3).collect();
+        let out = run_cells(
+            "unit-retry",
+            &items,
+            |i| i.to_string(),
+            |&i| with_cell_rng(|rng| rng.next_u64()).wrapping_add(i as u64),
+        );
+        sim_support::fault::clear();
+        set_fault_policy(FaultPolicy::default());
+        let clean = run_cells(
+            "unit-retry",
+            &items,
+            |i| i.to_string(),
+            |&i| with_cell_rng(|rng| rng.next_u64()).wrapping_add(i as u64),
+        );
+        assert_eq!(out, clean, "a retried cell reproduces its clean value");
+        let stats = take_stats();
+        let retried = stats
+            .iter()
+            .find(|s| s.figure == "unit-retry" && s.index == 1)
+            .expect("retried cell recorded");
+        assert_eq!(retried.attempts, 2, "one transient fault, one retry");
+    }
+
+    #[test]
+    fn without_isolation_panics_still_propagate() {
+        let _lock = policy_test_lock();
+        let _reset = ResetPolicy;
+        // simlint: allow(S03) -- asserts the default policy lets panics escape
+        let result = std::panic::catch_unwind(|| {
+            run_cells(
+                "unit-prop",
+                &[0usize, 1],
+                |i| i.to_string(),
+                |&i| {
+                    assert!(i != 1, "cell 1 exploded");
+                    i
+                },
+            )
+        });
+        assert!(result.is_err(), "default policy must propagate");
+    }
+
     #[test]
     fn accesses_are_credited_to_the_running_cell() {
+        // Shares the drained stats registry with the retry test.
+        let _lock = policy_test_lock();
         reset_stats();
         let items = [10u64, 20];
         run_cells(

@@ -138,8 +138,7 @@ impl OptProfile {
             self.branches.iter().map(|(&pc, &c)| (pc, c)).collect();
         v.sort_by(|a, b| {
             b.1.hit_to_taken()
-                .partial_cmp(&a.1.hit_to_taken())
-                .expect("hit-to-taken is never NaN")
+                .total_cmp(&a.1.hit_to_taken())
                 .then_with(|| a.0.cmp(&b.0))
         });
         v

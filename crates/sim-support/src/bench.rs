@@ -165,14 +165,14 @@ impl BenchHarness {
     pub fn finish(self, out_dir: &str) {
         std::fs::create_dir_all(out_dir).unwrap_or_else(|e| panic!("cannot create {out_dir}: {e}"));
         let path = format!("{out_dir}/bench_{}.json", self.suite);
-        std::fs::write(&path, self.to_json())
+        crate::fsio::write_atomic(std::path::Path::new(&path), self.to_json().as_bytes())
             .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
         eprintln!("wrote {path}");
     }
 }
 
 fn median(samples: &mut [f64]) -> f64 {
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    samples.sort_by(|a, b| a.total_cmp(b));
     let n = samples.len();
     if n == 0 {
         return 0.0;

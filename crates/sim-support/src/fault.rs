@@ -1,0 +1,666 @@
+//! Deterministic fault injection and the partial-failure error taxonomy.
+//!
+//! A 700-trace figure grid runs for hours; a single corrupt input or a
+//! panicking cell must not abort the whole batch. This module supplies the
+//! two halves of that contract:
+//!
+//! * **Taxonomy** — [`SimError`] classifies every failure as
+//!   [`FaultClass::Transient`] (retry is worthwhile: I/O hiccups, injected
+//!   flakes), [`FaultClass::Poison`] (deterministically wrong input: a
+//!   corrupt trace, a panicking cell — quarantine it and move on), or
+//!   [`FaultClass::Fatal`] (the run itself is compromised — abort).
+//!   Executors decide retry vs quarantine vs abort from the class alone.
+//! * **Injection** — a [`FaultPlan`] parsed from a spec string (the
+//!   `figures --fault-plan` flag) chooses, *deterministically*, which grid
+//!   cells panic, which `results/` writes fail, and when the process dies
+//!   mid-run. Every choice is a pure function of the plan seed and the
+//!   fault site, so a faulty run is exactly reproducible — the property the
+//!   crash-resume CI stage relies on.
+//!
+//! [`isolated`] is the only sanctioned `catch_unwind` wrapper outside the
+//! pool (enforced by simlint rule S03): it converts panics into [`SimError`]
+//! and performs the bounded deterministic retry loop for transient faults.
+//!
+//! # Plan spec grammar
+//!
+//! Comma-separated `key=value` entries:
+//!
+//! | entry | meaning |
+//! |-------|---------|
+//! | `seed=N`              | seeds rate-based draws (default 0) |
+//! | `panic=FIG:IDX:CLASS` | cell `(FIG, IDX)` panics with `CLASS` (repeatable) |
+//! | `panic-rate=P:CLASS`  | every cell panics with probability `P` |
+//! | `io=PATTERN:K`        | first `K` writes to paths containing `PATTERN` fail transiently |
+//! | `exit-after=N`        | `process::exit(86)` once `N` cells have been journaled |
+//!
+//! `CLASS` is `transient` (fires on attempt 0 only — a retry succeeds),
+//! `poison` (fires on every attempt), or `fatal`.
+
+use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+// simlint: allow(D03) -- fault-plane bookkeeping only; decisions are pure in (seed, site)
+use std::sync::atomic::{AtomicU64, Ordering};
+// simlint: allow(D03) -- guards the installed plan, swapped only at run setup/teardown
+use std::sync::Mutex;
+
+use crate::rng::{SimRng, SplitMix64};
+
+/// Exit code used by [`cell_completed`] when an `exit-after` fault fires —
+/// distinguishable from ordinary failures in `scripts/ci.sh`.
+pub const CRASH_EXIT_CODE: i32 = 86;
+
+/// How a failure should be treated by the executor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultClass {
+    /// Worth retrying: the same operation may succeed on the next attempt.
+    Transient,
+    /// Deterministically broken input or computation: retrying cannot help;
+    /// quarantine the unit and continue with the rest of the batch.
+    Poison,
+    /// The run itself is compromised; abort instead of continuing.
+    Fatal,
+}
+
+impl FaultClass {
+    /// Lower-case name used in specs, journals and `grid_stats.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::Transient => "transient",
+            FaultClass::Poison => "poison",
+            FaultClass::Fatal => "fatal",
+        }
+    }
+
+    /// Parses a spec-string class name.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "transient" => Ok(FaultClass::Transient),
+            "poison" => Ok(FaultClass::Poison),
+            "fatal" => Ok(FaultClass::Fatal),
+            other => Err(format!(
+                "unknown fault class {other:?} (transient|poison|fatal)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A classified simulation failure. The class drives the executor's
+/// retry/quarantine/abort decision; the message records the root cause for
+/// `grid_stats.json` and the journal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SimError {
+    /// Retry / quarantine / abort.
+    pub class: FaultClass,
+    /// Human-readable root cause.
+    pub message: String,
+}
+
+impl SimError {
+    /// A retryable failure.
+    pub fn transient(message: impl Into<String>) -> Self {
+        Self {
+            class: FaultClass::Transient,
+            message: message.into(),
+        }
+    }
+
+    /// A deterministic failure: quarantine, don't retry.
+    pub fn poison(message: impl Into<String>) -> Self {
+        Self {
+            class: FaultClass::Poison,
+            message: message.into(),
+        }
+    }
+
+    /// A run-compromising failure: abort.
+    pub fn fatal(message: impl Into<String>) -> Self {
+        Self {
+            class: FaultClass::Fatal,
+            message: message.into(),
+        }
+    }
+
+    /// Recovers a `SimError` from a panic payload. Injected faults travel as
+    /// `SimError` payloads and keep their class; organic panics (assertion
+    /// failures, indexing bugs, corrupt-input unwinds) are deterministic for
+    /// a given cell, so they classify as [`FaultClass::Poison`].
+    pub fn from_panic(payload: Box<dyn std::any::Any + Send>) -> Self {
+        match payload.downcast::<SimError>() {
+            Ok(err) => *err,
+            Err(payload) => {
+                let message = if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_owned()
+                } else {
+                    "opaque panic payload".to_owned()
+                };
+                SimError::poison(format!("panic: {message}"))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.class, self.message)
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Outcome of [`isolated`]: the task's result plus how many attempts ran.
+#[derive(Debug)]
+pub struct Isolated<T> {
+    /// `Ok` with the task's value, or the classified failure after the
+    /// final attempt.
+    pub result: Result<T, SimError>,
+    /// Attempts executed (≥ 1).
+    pub attempts: u32,
+}
+
+/// Runs `f`, converting panics into [`SimError`] and retrying transient
+/// failures up to `max_retries` extra times. `f` receives the zero-based
+/// attempt number, so deterministic fault injection can fire on chosen
+/// attempts only.
+///
+/// This is the one sanctioned panic-capture site for task execution
+/// (simlint S03); poison and fatal failures are never retried, keeping the
+/// attempt sequence a pure function of `(f, max_retries)`.
+pub fn isolated<T>(max_retries: u32, mut f: impl FnMut(u32) -> T) -> Isolated<T> {
+    let mut attempt = 0u32;
+    loop {
+        match catch_unwind(AssertUnwindSafe(|| f(attempt))) {
+            Ok(value) => {
+                return Isolated {
+                    result: Ok(value),
+                    attempts: attempt + 1,
+                }
+            }
+            Err(payload) => {
+                let error = SimError::from_panic(payload);
+                let retry = error.class == FaultClass::Transient && attempt < max_retries;
+                if !retry {
+                    return Isolated {
+                        result: Err(error),
+                        attempts: attempt + 1,
+                    };
+                }
+                attempt += 1;
+            }
+        }
+    }
+}
+
+/// One explicitly targeted cell fault.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct CellPoint {
+    figure: String,
+    index: usize,
+    class: FaultClass,
+}
+
+/// A deterministic fault-injection plan. See the [module docs](self) for
+/// the spec grammar. All injection decisions are pure functions of the plan
+/// and the fault site, never of scheduling or wall-clock.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    cell_points: Vec<CellPoint>,
+    panic_rate: Option<(f64, FaultClass)>,
+    io_pattern: Option<(String, u32)>,
+    exit_after: Option<u64>,
+}
+
+impl FaultPlan {
+    /// Parses a `--fault-plan` spec string.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::default();
+        for entry in spec.split(',').filter(|e| !e.trim().is_empty()) {
+            let (key, value) = entry
+                .split_once('=')
+                .ok_or_else(|| format!("fault-plan entry {entry:?} is not key=value"))?;
+            match key.trim() {
+                "seed" => {
+                    plan.seed = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("bad seed {value:?}"))?;
+                }
+                "panic" => {
+                    let mut parts = value.splitn(3, ':');
+                    let figure = parts.next().unwrap_or("").to_owned();
+                    let index: usize = parts
+                        .next()
+                        .ok_or_else(|| format!("panic={value:?}: missing cell index"))?
+                        .parse()
+                        .map_err(|_| format!("panic={value:?}: bad cell index"))?;
+                    let class = FaultClass::parse(
+                        parts
+                            .next()
+                            .ok_or_else(|| format!("panic={value:?}: missing class"))?,
+                    )?;
+                    if figure.is_empty() {
+                        return Err(format!("panic={value:?}: missing figure id"));
+                    }
+                    plan.cell_points.push(CellPoint {
+                        figure,
+                        index,
+                        class,
+                    });
+                }
+                "panic-rate" => {
+                    let (p, class) = value
+                        .split_once(':')
+                        .ok_or_else(|| format!("panic-rate={value:?}: want P:CLASS"))?;
+                    let p: f64 = p
+                        .parse()
+                        .map_err(|_| format!("panic-rate={value:?}: bad probability"))?;
+                    if !(0.0..=1.0).contains(&p) {
+                        return Err(format!("panic-rate={p}: probability outside [0, 1]"));
+                    }
+                    plan.panic_rate = Some((p, FaultClass::parse(class)?));
+                }
+                "io" => {
+                    let (pattern, k) = value
+                        .split_once(':')
+                        .ok_or_else(|| format!("io={value:?}: want PATTERN:K"))?;
+                    let k: u32 = k
+                        .parse()
+                        .map_err(|_| format!("io={value:?}: bad failure count"))?;
+                    plan.io_pattern = Some((pattern.to_owned(), k));
+                }
+                "exit-after" => {
+                    plan.exit_after = Some(
+                        value
+                            .trim()
+                            .parse()
+                            .map_err(|_| format!("bad exit-after {value:?}"))?,
+                    );
+                }
+                other => return Err(format!("unknown fault-plan key {other:?}")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// The fault class planned for cell `(figure, index)`, if any — a pure
+    /// function of the plan and the site.
+    pub fn cell_fault(&self, figure: &str, index: usize) -> Option<FaultClass> {
+        if let Some(point) = self
+            .cell_points
+            .iter()
+            .find(|p| p.figure == figure && p.index == index)
+        {
+            return Some(point.class);
+        }
+        if let Some((p, class)) = self.panic_rate {
+            let site = self.seed ^ fnv1a(figure.as_bytes()) ^ (index as u64).wrapping_mul(0x9e37);
+            let draw = SplitMix64::new(site).next_u64();
+            // 53-bit mantissa draw in [0, 1).
+            if ((draw >> 11) as f64) / ((1u64 << 53) as f64) < p {
+                return Some(class);
+            }
+        }
+        None
+    }
+}
+
+/// Process-wide installed plan plus its runtime counters.
+struct ActivePlan {
+    plan: FaultPlan,
+    /// Per-path injected-I/O-failure attempt counters.
+    io_attempts: Vec<(String, u32)>,
+}
+
+// simlint: allow(D03) -- plan registry; swapped at run setup, read-only during execution
+static PLAN: Mutex<Option<ActivePlan>> = Mutex::new(None);
+// simlint: allow(D03) -- crash-countdown telemetry, never read by simulated code
+static CELLS_COMPLETED: AtomicU64 = AtomicU64::new(0);
+
+/// Installs `plan` process-wide (replacing any previous plan) and resets
+/// the runtime fault counters.
+pub fn install(plan: FaultPlan) {
+    let mut slot = PLAN.lock().expect("fault plan registry poisoned");
+    *slot = Some(ActivePlan {
+        plan,
+        io_attempts: Vec::new(),
+    });
+    CELLS_COMPLETED.store(0, Ordering::SeqCst);
+}
+
+/// Removes the installed plan; subsequent checks are no-ops.
+pub fn clear() {
+    *PLAN.lock().expect("fault plan registry poisoned") = None;
+    CELLS_COMPLETED.store(0, Ordering::SeqCst);
+}
+
+/// Whether a fault plan is currently installed.
+pub fn is_active() -> bool {
+    PLAN.lock().expect("fault plan registry poisoned").is_some()
+}
+
+/// Injection checkpoint at the start of a cell attempt. Panics with a
+/// [`SimError`] payload when the installed plan targets this cell:
+/// transient faults fire on attempt 0 only (so one retry heals them);
+/// poison and fatal faults fire on every attempt.
+pub fn cell_attempt(figure: &str, index: usize, attempt: u32) {
+    let class = {
+        let guard = PLAN.lock().expect("fault plan registry poisoned");
+        match guard.as_ref() {
+            Some(active) => active.plan.cell_fault(figure, index),
+            None => None,
+        }
+    };
+    if let Some(class) = class {
+        if class != FaultClass::Transient || attempt == 0 {
+            std::panic::panic_any(SimError {
+                class,
+                message: format!(
+                    "injected {class} fault at cell {figure}[{index}] (attempt {attempt})"
+                ),
+            });
+        }
+    }
+}
+
+/// Crash checkpoint: counts journaled cells and, when the plan's
+/// `exit-after` threshold is reached, kills the process with
+/// [`CRASH_EXIT_CODE`] — simulating a mid-run crash for the resume tests.
+pub fn cell_completed() {
+    let exit_after = {
+        let guard = PLAN.lock().expect("fault plan registry poisoned");
+        guard.as_ref().and_then(|active| active.plan.exit_after)
+    };
+    let done = CELLS_COMPLETED.fetch_add(1, Ordering::SeqCst) + 1;
+    if let Some(limit) = exit_after {
+        if done >= limit {
+            eprintln!("fault plan: simulated crash after {done} journaled cells");
+            std::process::exit(CRASH_EXIT_CODE);
+        }
+    }
+}
+
+/// Injection checkpoint for `results/` writes: returns an injected
+/// transient error ([`io::ErrorKind::Interrupted`], so callers' bounded
+/// retry loops recognise it as retryable) for the first `K` attempts on any
+/// path matching the plan's `io=PATTERN:K` entry.
+pub fn io_fault(path: &str) -> Option<io::Error> {
+    let mut guard = PLAN.lock().expect("fault plan registry poisoned");
+    let active = guard.as_mut()?;
+    let (pattern, k) = active.plan.io_pattern.clone()?;
+    if !path.contains(&pattern) {
+        return None;
+    }
+    let attempts = match active.io_attempts.iter_mut().find(|(p, _)| p == path) {
+        Some((_, n)) => n,
+        None => {
+            active.io_attempts.push((path.to_owned(), 0));
+            &mut active.io_attempts.last_mut().expect("just pushed").1
+        }
+    };
+    *attempts += 1;
+    if *attempts <= k {
+        Some(io::Error::new(
+            io::ErrorKind::Interrupted,
+            format!("injected transient i/o fault on {path} (attempt {attempts})"),
+        ))
+    } else {
+        None
+    }
+}
+
+/// Installs a panic hook that silences injected faults (payload is a
+/// [`SimError`]) and shrinks organic cell panics to one line — quarantined
+/// cells already report through `grid_stats.json`, so the default
+/// multi-line hook output would only drown the run log.
+pub fn silence_injected_panics() {
+    std::panic::set_hook(Box::new(|info| {
+        if info.payload().downcast_ref::<SimError>().is_some() {
+            return;
+        }
+        let location = info
+            .location()
+            .map(|l| format!("{}:{}", l.file(), l.line()))
+            .unwrap_or_else(|| "<unknown>".to_owned());
+        let message = info
+            .payload()
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| info.payload().downcast_ref::<&str>().copied())
+            .unwrap_or("opaque panic payload");
+        eprintln!("cell panic at {location}: {message}");
+    }));
+}
+
+/// A single deterministic byte-stream corruption, for fuzzing decoders
+/// against truncated / bit-flipped / garbage input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Corruption {
+    /// Cut the stream to `len` bytes.
+    Truncate(usize),
+    /// Flip one bit of one byte.
+    FlipBit {
+        /// Byte offset (taken modulo the stream length).
+        offset: usize,
+        /// Bit index 0..8.
+        bit: u8,
+    },
+    /// Overwrite one byte.
+    ReplaceByte {
+        /// Byte offset (taken modulo the stream length).
+        offset: usize,
+        /// Replacement value.
+        value: u8,
+    },
+    /// Replace the whole stream with arbitrary bytes.
+    Garbage(Vec<u8>),
+}
+
+impl Corruption {
+    /// Draws a corruption appropriate for a stream of `len` bytes.
+    pub fn arbitrary(rng: &mut SimRng, len: usize) -> Corruption {
+        let byte = |rng: &mut SimRng| (rng.next_u64() >> 56) as u8;
+        if len == 0 {
+            let n = rng.gen_range(1usize..64);
+            return Corruption::Garbage((0..n).map(|_| byte(rng)).collect());
+        }
+        match rng.gen_range(0u32..4) {
+            0 => Corruption::Truncate(rng.gen_range(0usize..len)),
+            1 => Corruption::FlipBit {
+                offset: rng.gen_range(0usize..len),
+                bit: rng.gen_range(0u32..8) as u8,
+            },
+            2 => Corruption::ReplaceByte {
+                offset: rng.gen_range(0usize..len),
+                value: byte(rng),
+            },
+            _ => {
+                let n = rng.gen_range(1usize..64);
+                Corruption::Garbage((0..n).map(|_| byte(rng)).collect())
+            }
+        }
+    }
+
+    /// Applies the corruption in place.
+    pub fn apply(&self, bytes: &mut Vec<u8>) {
+        match self {
+            Corruption::Truncate(len) => bytes.truncate(*len),
+            Corruption::FlipBit { offset, bit } => {
+                if !bytes.is_empty() {
+                    let i = offset % bytes.len();
+                    bytes[i] ^= 1 << (bit % 8);
+                }
+            }
+            Corruption::ReplaceByte { offset, value } => {
+                if !bytes.is_empty() {
+                    let i = offset % bytes.len();
+                    bytes[i] = *value;
+                }
+            }
+            Corruption::Garbage(garbage) => *bytes = garbage.clone(),
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Restores a clean global plan state even when an assertion fails.
+    struct ClearPlan;
+    impl Drop for ClearPlan {
+        fn drop(&mut self) {
+            clear();
+        }
+    }
+
+    #[test]
+    fn isolated_returns_value_first_try() {
+        let out = isolated(3, |attempt| {
+            assert_eq!(attempt, 0);
+            42
+        });
+        assert_eq!(out.result.unwrap(), 42);
+        assert_eq!(out.attempts, 1);
+    }
+
+    #[test]
+    fn isolated_retries_transient_then_succeeds() {
+        let out = isolated(2, |attempt| {
+            if attempt == 0 {
+                std::panic::panic_any(SimError::transient("flaky"));
+            }
+            attempt
+        });
+        assert_eq!(out.result.unwrap(), 1);
+        assert_eq!(out.attempts, 2);
+    }
+
+    #[test]
+    fn isolated_gives_up_after_retry_budget() {
+        let out: Isolated<()> = isolated(2, |_| {
+            std::panic::panic_any(SimError::transient("always flaky"));
+        });
+        let err = out.result.unwrap_err();
+        assert_eq!(err.class, FaultClass::Transient);
+        assert_eq!(out.attempts, 3, "initial attempt + 2 retries");
+    }
+
+    #[test]
+    fn isolated_never_retries_poison_and_classifies_organic_panics() {
+        let out: Isolated<()> = isolated(5, |_| {
+            std::panic::panic_any(SimError::poison("bad input"));
+        });
+        assert_eq!(out.attempts, 1);
+        assert_eq!(out.result.unwrap_err().class, FaultClass::Poison);
+
+        let organic: Isolated<()> = isolated(5, |_| panic!("index out of bounds"));
+        assert_eq!(organic.attempts, 1, "organic panics are poison: no retry");
+        let err = organic.result.unwrap_err();
+        assert_eq!(err.class, FaultClass::Poison);
+        assert!(err.message.contains("index out of bounds"), "{err}");
+    }
+
+    #[test]
+    fn plan_spec_round_trips_the_grammar() {
+        let plan =
+            FaultPlan::parse("seed=7,panic=fig01:2:poison,panic=fig09:0:transient,io=stats:2")
+                .unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.cell_fault("fig01", 2), Some(FaultClass::Poison));
+        assert_eq!(plan.cell_fault("fig09", 0), Some(FaultClass::Transient));
+        assert_eq!(plan.cell_fault("fig01", 1), None);
+        assert_eq!(plan.io_pattern, Some(("stats".to_owned(), 2)));
+
+        let with_exit = FaultPlan::parse("exit-after=5").unwrap();
+        assert_eq!(with_exit.exit_after, Some(5));
+
+        assert!(FaultPlan::parse("panic=fig01:x:poison").is_err());
+        assert!(FaultPlan::parse("panic-rate=1.5:poison").is_err());
+        assert!(FaultPlan::parse("frobnicate=1").is_err());
+        assert!(FaultPlan::parse("").unwrap().cell_points.is_empty());
+    }
+
+    #[test]
+    fn rate_based_faults_are_deterministic_per_site() {
+        let plan = FaultPlan::parse("seed=3,panic-rate=0.5:poison").unwrap();
+        let draws: Vec<Option<FaultClass>> = (0..64).map(|i| plan.cell_fault("figX", i)).collect();
+        let again: Vec<Option<FaultClass>> = (0..64).map(|i| plan.cell_fault("figX", i)).collect();
+        assert_eq!(draws, again, "same plan + site => same decision");
+        let hits = draws.iter().filter(|d| d.is_some()).count();
+        assert!((10..=54).contains(&hits), "rate 0.5 hit {hits}/64 cells");
+        let other_seed = FaultPlan::parse("seed=4,panic-rate=0.5:poison").unwrap();
+        let other: Vec<Option<FaultClass>> =
+            (0..64).map(|i| other_seed.cell_fault("figX", i)).collect();
+        assert_ne!(draws, other, "seed must matter");
+    }
+
+    #[test]
+    fn installed_plan_panics_targeted_cells_only() {
+        let _guard = ClearPlan;
+        install(FaultPlan::parse("panic=unit:1:transient").unwrap());
+        cell_attempt("unit", 0, 0); // untargeted: no panic
+        cell_attempt("unit", 1, 1); // transient fires on attempt 0 only
+        let out: Isolated<()> = isolated(0, |attempt| cell_attempt("unit", 1, attempt));
+        let err = out.result.unwrap_err();
+        assert_eq!(err.class, FaultClass::Transient);
+        assert!(err.message.contains("unit[1]"), "{err}");
+        // With one retry the transient fault heals.
+        let healed = isolated(1, |attempt| {
+            cell_attempt("unit", 1, attempt);
+            "ok"
+        });
+        assert_eq!(healed.result.unwrap(), "ok");
+        assert_eq!(healed.attempts, 2);
+    }
+
+    #[test]
+    fn io_faults_fail_first_k_attempts_on_matching_paths() {
+        let _guard = ClearPlan;
+        install(FaultPlan::parse("io=grid_stats:2").unwrap());
+        assert!(io_fault("results/figures.md").is_none(), "pattern mismatch");
+        let first = io_fault("results/grid_stats.json").expect("attempt 1 fails");
+        assert_eq!(first.kind(), io::ErrorKind::Interrupted);
+        assert!(io_fault("results/grid_stats.json").is_some(), "attempt 2");
+        assert!(
+            io_fault("results/grid_stats.json").is_none(),
+            "attempt 3 ok"
+        );
+        clear();
+        assert!(io_fault("results/grid_stats.json").is_none(), "no plan");
+    }
+
+    #[test]
+    fn corruption_applies_deterministically() {
+        let mut rng = SimRng::seed_from_u64(9);
+        for _ in 0..200 {
+            let n = rng.gen_range(0usize..32);
+            let mut bytes: Vec<u8> = (0..n).map(|_| (rng.next_u64() >> 56) as u8).collect();
+            let original = bytes.clone();
+            let corruption = Corruption::arbitrary(&mut rng, bytes.len());
+            corruption.apply(&mut bytes);
+            let mut again = original.clone();
+            corruption.apply(&mut again);
+            assert_eq!(bytes, again, "apply must be deterministic");
+            if let Corruption::Truncate(n) = corruption {
+                assert_eq!(bytes.len(), n.min(original.len()));
+            }
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Crash-safe results I/O.
+//!
+//! A killed `figures` run must never leave a half-written
+//! `grid_stats.json` or `figures.md` behind, and a torn tail line in the
+//! checkpoint journal must not poison a resume. Two primitives provide
+//! that:
+//!
+//! * [`write_atomic`] — write to `<path>.tmp` in the same directory, fsync,
+//!   then rename over the destination. Readers observe either the old file
+//!   or the complete new one, never a prefix.
+//! * [`append_line_durable`] — append one newline-terminated record and
+//!   fsync before returning, so a journal line that the process reported as
+//!   committed survives an immediate crash.
+//!
+//! Both route through [`fault::io_fault`], so a `--fault-plan io=PATTERN:K`
+//! entry can make the first `K` attempts on matching paths fail with a
+//!   retryable [`io::ErrorKind::Interrupted`] error. [`write_atomic_retry`]
+//! is the bounded-retry wrapper the executors use: it retries *only*
+//! interrupted writes, a fixed number of times, keeping behaviour
+//! deterministic.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::fault;
+
+/// Writes `bytes` to `path` atomically: temp file in the same directory,
+/// fsync, rename. On any error the destination is untouched (a stale
+/// `.tmp` sibling may remain; the next successful write replaces it).
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    if let Some(err) = fault::io_fault(&path.display().to_string()) {
+        return Err(err);
+    }
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let tmp = tmp_sibling(path);
+    {
+        let mut file = File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+    }
+    match fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(err) => {
+            // Leave the filesystem as close to untouched as we can.
+            let _ = fs::remove_file(&tmp);
+            Err(err)
+        }
+    }
+}
+
+/// [`write_atomic`] with a bounded retry loop for transient
+/// ([`io::ErrorKind::Interrupted`]) failures — the kind the fault plan
+/// injects. Non-transient errors propagate immediately; after
+/// `max_retries` extra attempts the last error is returned.
+pub fn write_atomic_retry(path: &Path, bytes: &[u8], max_retries: u32) -> io::Result<()> {
+    let mut attempt = 0u32;
+    loop {
+        match write_atomic(path, bytes) {
+            Ok(()) => return Ok(()),
+            Err(err) if err.kind() == io::ErrorKind::Interrupted && attempt < max_retries => {
+                attempt += 1;
+            }
+            Err(err) => return Err(err),
+        }
+    }
+}
+
+/// Appends `line` (a newline is added if missing) to `path`, creating it if
+/// absent, and fsyncs before returning. Used for the per-cell checkpoint
+/// journal: once this returns, the record survives a crash.
+pub fn append_line_durable(path: &Path, line: &str) -> io::Result<()> {
+    if let Some(err) = fault::io_fault(&path.display().to_string()) {
+        return Err(err);
+    }
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs::create_dir_all(parent)?;
+        }
+    }
+    let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+    file.write_all(line.as_bytes())?;
+    if !line.ends_with('\n') {
+        file.write_all(b"\n")?;
+    }
+    file.sync_all()?;
+    Ok(())
+}
+
+/// Reads a journal written by [`append_line_durable`], returning complete
+/// lines only: a torn final line (no trailing newline — the crash landed
+/// mid-append despite our fsync discipline, e.g. on a different
+/// filesystem) is dropped rather than parsed. A missing file is an empty
+/// journal.
+pub fn read_journal_lines(path: &Path) -> io::Result<Vec<String>> {
+    let text = match fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) if err.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(err) => return Err(err),
+    };
+    let mut lines: Vec<String> = Vec::new();
+    let complete = match text.rfind('\n') {
+        Some(last) => &text[..=last],
+        None => return Ok(lines), // single torn line
+    };
+    for line in complete.lines() {
+        if !line.trim().is_empty() {
+            lines.push(line.to_owned());
+        }
+    }
+    Ok(lines)
+}
+
+/// Escapes `s` as the body of a JSON string literal (no surrounding
+/// quotes). Shared by the journal and stats writers so all `results/`
+/// JSON uses identical escaping.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn tmp_sibling(path: &Path) -> std::path::PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "out".to_owned());
+    name.push_str(".tmp");
+    path.with_file_name(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{self, FaultPlan};
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("sim-support-fsio-tests");
+        fs::create_dir_all(&dir).expect("temp scratch dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn write_atomic_replaces_content_and_leaves_no_tmp() {
+        let path = scratch("atomic.json");
+        write_atomic(&path, b"{\"v\":1}").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"{\"v\":1}");
+        write_atomic(&path, b"{\"v\":2}").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"{\"v\":2}");
+        assert!(!tmp_sibling(&path).exists(), "tmp sibling must be renamed");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_and_read_journal_drops_torn_tail() {
+        let path = scratch("journal.jsonl");
+        let _ = fs::remove_file(&path);
+        append_line_durable(&path, "{\"cell\":0}").unwrap();
+        append_line_durable(&path, "{\"cell\":1}\n").unwrap();
+        // Simulate a crash mid-append: raw write without trailing newline.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"cell\":2").unwrap();
+        drop(f);
+        let lines = read_journal_lines(&path).unwrap();
+        assert_eq!(lines, vec!["{\"cell\":0}", "{\"cell\":1}"]);
+        fs::remove_file(&path).unwrap();
+        assert!(read_journal_lines(&path).unwrap().is_empty(), "missing ok");
+    }
+
+    #[test]
+    fn injected_io_faults_are_retried_away() {
+        struct ClearPlan;
+        impl Drop for ClearPlan {
+            fn drop(&mut self) {
+                fault::clear();
+            }
+        }
+        let _guard = ClearPlan;
+        let path = scratch("faulted.json");
+        fault::install(FaultPlan::parse("io=faulted.json:2").unwrap());
+        let err = write_atomic(&path, b"x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        // One retry is not enough (two injected failures), three is.
+        assert!(write_atomic_retry(&path, b"x", 0).is_err());
+        fault::install(FaultPlan::parse("io=faulted.json:2").unwrap());
+        write_atomic_retry(&path, b"ok", 3).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"ok");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

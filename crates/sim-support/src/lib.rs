@@ -24,6 +24,12 @@
 //!   [`DetHashSet`]), the allowlisted O(1) alternative to `BTreeMap` on hot
 //!   lookup paths where `std`'s randomly seeded `HashMap` is banned (the
 //!   `simlint` D01 rule).
+//! * [`fault`] — deterministic fault injection ([`FaultPlan`]) and the
+//!   [`SimError`] taxonomy (Transient / Poison / Fatal) that lets batch
+//!   executors retry, quarantine, or abort on partial failure.
+//! * [`fsio`] — crash-safe results I/O: [`fsio::write_atomic`]
+//!   (temp-file + rename) and fsync'd journal appends, with fault-plan
+//!   injection points.
 //!
 //! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
 //!
@@ -41,12 +47,15 @@
 
 pub mod bench;
 pub mod detmap;
+pub mod fault;
 pub mod forall;
+pub mod fsio;
 pub mod golden;
 pub mod pool;
 pub mod rng;
 
 pub use bench::{BenchHarness, BenchResult};
 pub use detmap::{DetHashMap, DetHashSet, DetState};
+pub use fault::{Corruption, FaultClass, FaultPlan, Isolated, SimError};
 pub use pool::{PoolStats, ThreadPool};
 pub use rng::{SimRng, SplitMix64};

@@ -8,6 +8,7 @@
 //! | D04  | `env::var` outside documented knobs |
 //! | S01  | `unsafe` without a `// SAFETY:` comment |
 //! | S02  | `#[allow(...)]` without a justification comment |
+//! | S03  | `catch_unwind` outside the fault-isolation layer |
 //! | X01  | malformed `simlint: allow` (missing `-- reason`) |
 //!
 //! Every rule honours in-source suppressions of the form
@@ -29,6 +30,7 @@ pub fn lint_scanned(rel_path: &str, scanned: &Scanned, config: &Config) -> Vec<D
     rule_d04(rel_path, scanned, &mut raw);
     rule_s01(rel_path, scanned, &mut raw);
     rule_s02(rel_path, scanned, &mut raw);
+    rule_s03(rel_path, scanned, &mut raw);
 
     let mut out: Vec<Diagnostic> = raw
         .into_iter()
@@ -235,6 +237,30 @@ fn rule_s02(rel_path: &str, scanned: &Scanned, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// S03: `catch_unwind` outside the fault-isolation layer. Swallowing
+/// panics anywhere else hides bugs and can leave shared state poisoned
+/// mid-update; the blessed call sites (`sim_support::fault`,
+/// `sim_support::pool`, and the test harnesses built on them) live on the
+/// central allowlist in `simlint.toml`.
+fn rule_s03(rel_path: &str, scanned: &Scanned, out: &mut Vec<Diagnostic>) {
+    const FIX: &str = "route panic capture through sim_support::fault::isolated or \
+                       pool::try_par_map, which classify the payload and keep retry \
+                       deterministic; do not swallow panics ad hoc";
+    for (idx, l) in scanned.lines.iter().enumerate() {
+        for col in find_word(&l.code, "catch_unwind") {
+            push(
+                out,
+                rel_path,
+                idx + 1,
+                col,
+                "S03",
+                "`catch_unwind` outside the fault-isolation layer".to_owned(),
+                FIX,
+            );
+        }
+    }
+}
+
 /// X01: a `simlint: allow` comment that is missing its `-- reason` (or an
 /// intelligible rule list). Such comments also do not suppress anything.
 fn rule_x01(rel_path: &str, scanned: &Scanned, out: &mut Vec<Diagnostic>) {
@@ -332,6 +358,22 @@ mod tests {
             rules_of(&lint("crates/core/src/x.rs", doc_only)),
             vec!["S02"]
         );
+    }
+
+    #[test]
+    fn s03_flags_catch_unwind_everywhere_by_default() {
+        let src = "let r = std::panic::catch_unwind(|| work());\n";
+        assert_eq!(rules_of(&lint("crates/core/src/x.rs", src)), vec!["S03"]);
+        // The blessed sites are exempted by path, not by the rule itself.
+        let mut cfg = Config::default();
+        cfg.allows
+            .entry("S03".to_owned())
+            .or_default()
+            .push(crate::config::PathAllow {
+                path: "crates/sim-support/src/fault.rs".to_owned(),
+                reason: "the fault-isolation layer".to_owned(),
+            });
+        assert!(lint_scanned("crates/sim-support/src/fault.rs", &scan(src), &cfg).is_empty());
     }
 
     #[test]

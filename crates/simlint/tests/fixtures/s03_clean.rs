@@ -1,0 +1,4 @@
+// Fixture: S03 clean — panic isolation goes through the fault layer.
+pub fn run_isolated(work: impl FnMut(u32) -> u64) -> Option<u64> {
+    sim_support::fault::isolated(0, work).result.ok()
+}

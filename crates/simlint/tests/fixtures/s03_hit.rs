@@ -1,0 +1,4 @@
+// Fixture: S03 violation — ad-hoc panic capture outside the fault layer.
+pub fn swallow(f: impl FnOnce() + std::panic::UnwindSafe) -> bool {
+    std::panic::catch_unwind(f).is_ok()
+}

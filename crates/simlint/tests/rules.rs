@@ -145,6 +145,29 @@ fn s02_hit_justified_clean() {
 }
 
 #[test]
+fn s03_hit_suppressed_clean() {
+    let hit = lint_fixture(
+        "crates/bench/src/fixture.rs",
+        include_str!("fixtures/s03_hit.rs"),
+    );
+    assert_eq!(rules_of(&hit), vec!["S03"]);
+    assert!(
+        hit[0].fix.contains("fault::isolated"),
+        "fix should name the blessed path: {hit:?}"
+    );
+    let suppressed = lint_fixture(
+        "crates/bench/src/fixture.rs",
+        include_str!("fixtures/s03_suppressed.rs"),
+    );
+    assert!(suppressed.is_empty(), "{suppressed:?}");
+    let clean = lint_fixture(
+        "crates/bench/src/fixture.rs",
+        include_str!("fixtures/s03_clean.rs"),
+    );
+    assert!(clean.is_empty(), "{clean:?}");
+}
+
+#[test]
 fn diagnostics_carry_machine_readable_fields() {
     let hit = lint_fixture(
         "crates/core/src/fixture.rs",

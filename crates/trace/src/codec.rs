@@ -24,6 +24,11 @@ use crate::{BranchKind, BranchRecord, Trace};
 const MAGIC: &[u8; 4] = b"BTBT";
 const VERSION: u64 = 1;
 
+/// Upper bound on a trace name accepted by [`read_binary`]. Real names are
+/// tens of bytes; the cap exists so a corrupt length prefix cannot make the
+/// reader pre-allocate gigabytes and abort the process on OOM.
+const MAX_NAME_LEN: u64 = 4096;
+
 /// Error returned when decoding a trace fails.
 #[derive(Debug)]
 pub enum CodecError {
@@ -37,6 +42,12 @@ pub enum CodecError {
     BadKind(u8),
     /// The trace name was not valid UTF-8.
     BadName,
+    /// The trace name length prefix exceeds the sanity cap — almost
+    /// certainly a corrupt stream; refusing avoids an OOM abort.
+    NameTooLong(u64),
+    /// A numeric field exceeds its domain (e.g. a 64-bit `inst_gap` for a
+    /// 32-bit record field): corrupt input, not silently truncated.
+    Overflow(&'static str),
     /// A varint ran past 10 bytes or the input ended mid-value.
     Truncated,
 }
@@ -49,6 +60,13 @@ impl std::fmt::Display for CodecError {
             CodecError::UnsupportedVersion(v) => write!(f, "unsupported trace version {v}"),
             CodecError::BadKind(c) => write!(f, "unknown branch kind code {c}"),
             CodecError::BadName => f.write_str("trace name is not valid utf-8"),
+            CodecError::NameTooLong(n) => {
+                write!(
+                    f,
+                    "trace name length {n} exceeds the {MAX_NAME_LEN}-byte cap"
+                )
+            }
+            CodecError::Overflow(field) => write!(f, "field {field} exceeds its domain"),
             CodecError::Truncated => f.write_str("unexpected end of input"),
         }
     }
@@ -165,8 +183,11 @@ pub fn read_binary<R: Read>(r: &mut R) -> Result<Trace, CodecError> {
     if version != VERSION {
         return Err(CodecError::UnsupportedVersion(version));
     }
-    let name_len = read_varint(r)? as usize;
-    let mut name = vec![0u8; name_len];
+    let name_len = read_varint(r)?;
+    if name_len > MAX_NAME_LEN {
+        return Err(CodecError::NameTooLong(name_len));
+    }
+    let mut name = vec![0u8; name_len as usize];
     r.read_exact(&mut name)?;
     let name = String::from_utf8(name).map_err(|_| CodecError::BadName)?;
     let count = read_varint(r)? as usize;
@@ -180,7 +201,8 @@ pub fn read_binary<R: Read>(r: &mut R) -> Result<Trace, CodecError> {
         let taken = flags[0] & 0x8 != 0;
         let pc = prev_pc.wrapping_add(unzigzag(read_varint(r)?) as u64);
         let target = pc.wrapping_add(unzigzag(read_varint(r)?) as u64);
-        let inst_gap = read_varint(r)? as u32;
+        let inst_gap =
+            u32::try_from(read_varint(r)?).map_err(|_| CodecError::Overflow("inst_gap"))?;
         trace.push(BranchRecord {
             pc,
             target,
@@ -343,5 +365,65 @@ mod tests {
             let back = read_binary(&mut buf.as_slice()).unwrap();
             assert_eq!(back, t);
         });
+    }
+
+    #[test]
+    fn prop_corrupted_input_never_panics() {
+        use sim_support::fault::Corruption;
+        // Truncations, bit flips, byte swaps and outright garbage must all
+        // settle as Ok or CodecError — never a panic (which would escape the
+        // decoder and abort a whole figure run) and never an OOM prealloc.
+        forall!(cases: 256, gen: |rng| {
+            let len = rng.gen_range(0usize..40);
+            let records: Vec<BranchRecord> = (0..len).map(|_| arb_record(rng)).collect();
+            let t = Trace::from_records(arb_name(rng), records);
+            let mut bytes = Vec::new();
+            write_binary(&mut bytes, &t).unwrap();
+            let corruption = Corruption::arbitrary(rng, bytes.len());
+            (bytes, corruption)
+        }, prop: |(bytes, corruption)| {
+            let mut corrupted = bytes.clone();
+            corruption.apply(&mut corrupted);
+            let outcome = read_binary(&mut corrupted.as_slice());
+            if let Corruption::Truncate(n) = corruption {
+                // Every written byte is load-bearing: a strict prefix can
+                // never decode successfully.
+                if *n < bytes.len() {
+                    assert!(outcome.is_err(), "truncated stream decoded: cut at {n}");
+                }
+            }
+            // Any other corruption may or may not decode; reaching this
+            // line without unwinding is the property.
+            let _ = outcome;
+        });
+    }
+
+    #[test]
+    fn oversized_name_length_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        write_varint(&mut buf, VERSION).unwrap();
+        write_varint(&mut buf, u64::MAX).unwrap(); // claimed name length
+        let err = read_binary(&mut buf.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, CodecError::NameTooLong(n) if n == u64::MAX),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn inst_gap_overflow_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        write_varint(&mut buf, VERSION).unwrap();
+        write_varint(&mut buf, 1).unwrap(); // name length
+        buf.push(b'x');
+        write_varint(&mut buf, 1).unwrap(); // record count
+        buf.push(BranchKind::CondDirect.code() | 0x8); // flags
+        write_varint(&mut buf, zigzag(0x1000)).unwrap(); // pc delta
+        write_varint(&mut buf, zigzag(0x40)).unwrap(); // target delta
+        write_varint(&mut buf, u64::from(u32::MAX) + 1).unwrap(); // inst_gap
+        let err = read_binary(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, CodecError::Overflow("inst_gap")), "{err}");
     }
 }

@@ -36,4 +36,40 @@ env "${smoke_env[@]}" ./target/release/figures fig01 fig09 fig17 \
     --threads 2 --markdown /tmp/ci_parallel.md --grid-stats /tmp/ci_grid_parallel.json >/dev/null
 cmp /tmp/ci_serial.md /tmp/ci_parallel.md
 
+echo "==> crash-resume (kill mid-grid via fault plan; --resume must be byte-identical)"
+ft_dir="$(mktemp -d)"
+trap 'rm -rf "$ft_dir"' EXIT
+# Reference: a fault-free run of the same grid.
+env "${smoke_env[@]}" ./target/release/figures fig01 fig09 fig17 \
+    --threads 2 --markdown "$ft_dir/ref.md" --grid-stats "$ft_dir/ref_stats.json" \
+    --journal "$ft_dir/ref_journal.jsonl" > "$ft_dir/ref.out"
+# Crash: the injected plan kills the process after 3 journaled cells (exit 86).
+crash_rc=0
+env "${smoke_env[@]}" ./target/release/figures fig01 fig09 fig17 \
+    --threads 2 --markdown "$ft_dir/resumed.md" --grid-stats "$ft_dir/crash_stats.json" \
+    --journal "$ft_dir/journal.jsonl" --fault-plan exit-after=3 \
+    > /dev/null 2> "$ft_dir/crash.err" || crash_rc=$?
+if [ "$crash_rc" -ne 86 ]; then
+    echo "expected the fault plan to kill the run with exit 86, got $crash_rc" >&2
+    cat "$ft_dir/crash.err" >&2
+    exit 1
+fi
+# Resume at a *different* thread width: journaled figures replay byte-for-byte,
+# the rest recompute, and both report and stdout must match the reference.
+env "${smoke_env[@]}" ./target/release/figures fig01 fig09 fig17 \
+    --threads 4 --resume --markdown "$ft_dir/resumed.md" \
+    --grid-stats "$ft_dir/resumed_stats.json" --journal "$ft_dir/journal.jsonl" \
+    > "$ft_dir/resumed.out"
+cmp "$ft_dir/ref.md" "$ft_dir/resumed.md"
+cmp "$ft_dir/ref.out" "$ft_dir/resumed.out"
+
+echo "==> quarantine (a poisoned cell is dropped with a reason; siblings complete)"
+env "${smoke_env[@]}" ./target/release/figures fig01 \
+    --threads 2 --quarantine --max-retries 1 \
+    --fault-plan seed=1,panic=fig01:1:poison \
+    --markdown "$ft_dir/quarantine.md" --grid-stats "$ft_dir/quarantine_stats.json" \
+    --journal "$ft_dir/quarantine_journal.jsonl" > /dev/null
+grep -q '"class": "poison"' "$ft_dir/quarantine_stats.json"
+grep -q '"cells_quarantined": 1' "$ft_dir/quarantine_stats.json"
+
 echo "CI green."

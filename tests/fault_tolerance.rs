@@ -1,0 +1,166 @@
+//! Cell-level fault tolerance: with isolation enabled, an injected panic in
+//! one grid cell must not take down its siblings — the poisoned cell is
+//! quarantined with a reason, transient faults retry to an identical result,
+//! and every surviving cell's numbers are byte-identical to a fault-free
+//! run. Fault-plan state is process-global, so (like `grid_parallel`) every
+//! test serializes on one mutex and restores defaults before returning.
+
+use std::sync::Mutex; // simlint: allow(D03) -- serializes tests that flip process-global config
+
+use sim_support::{fault, pool, FaultPlan};
+use thermometer_bench::{figure_by_id, grid, FaultPolicy, Scale};
+
+/// Serializes the tests in this binary: they install process-global fault
+/// plans and policies.
+// simlint: allow(D03) -- test-only serialization lock, not simulator state
+static EXCLUSIVE: Mutex<()> = Mutex::new(());
+
+/// Restores the default (fault-free, propagate-panics) configuration even
+/// if an assertion fails.
+struct ResetFaults;
+impl Drop for ResetFaults {
+    fn drop(&mut self) {
+        fault::clear();
+        grid::set_fault_policy(FaultPolicy::default());
+        pool::set_threads(0);
+        grid::reset_stats();
+        grid::take_quarantined();
+    }
+}
+
+fn fig01_rows(scale: &Scale) -> Vec<(String, Vec<u64>)> {
+    let figs = figure_by_id("fig01", scale).expect("known figure id");
+    figs[0]
+        .rows
+        .iter()
+        .map(|r| {
+            // Bit-exact comparison: f64 equality would paper over NaN and
+            // signed-zero drift.
+            (
+                r.label.clone(),
+                r.values.iter().map(|v| v.to_bits()).collect(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn poison_quarantines_one_cell_and_siblings_are_bit_identical() {
+    let _exclusive = EXCLUSIVE.lock().unwrap_or_else(|e| e.into_inner());
+    let _reset = ResetFaults;
+    fault::silence_injected_panics();
+    let scale = Scale::smoke();
+
+    pool::set_threads(2);
+    let reference = fig01_rows(&scale);
+    assert_eq!(reference.len(), scale.apps.len() + 1, "apps + Avg row");
+
+    let victim = scale.apps[1].name.clone();
+    fault::install(FaultPlan::parse("seed=1,panic=fig01:1:poison").expect("valid plan"));
+    grid::set_fault_policy(FaultPolicy {
+        isolate: true,
+        max_retries: 1,
+    });
+    grid::take_quarantined();
+    let survived = fig01_rows(&scale);
+
+    // Exactly the victim cell is quarantined, with an attributable reason.
+    let quarantined = grid::take_quarantined();
+    assert_eq!(quarantined.len(), 1, "{quarantined:?}");
+    let q = &quarantined[0];
+    assert_eq!(
+        (q.figure.as_str(), q.index, &q.label),
+        ("fig01", 1, &victim)
+    );
+    assert_eq!(q.class.name(), "poison");
+    assert!(
+        q.reason.contains("fig01[1]"),
+        "reason must locate the cell: {}",
+        q.reason
+    );
+
+    // Siblings survive, in order, bit-identical to the fault-free run.
+    // (The Avg row legitimately changes — it now averages fewer rows.)
+    let expect: Vec<_> = reference
+        .iter()
+        .filter(|(label, _)| *label != victim && label != "Avg")
+        .cloned()
+        .collect();
+    let got: Vec<_> = survived
+        .iter()
+        .filter(|(label, _)| label != "Avg")
+        .cloned()
+        .collect();
+    assert_eq!(got, expect, "surviving cells drifted under fault injection");
+}
+
+#[test]
+fn transient_fault_retries_to_a_byte_identical_figure() {
+    let _exclusive = EXCLUSIVE.lock().unwrap_or_else(|e| e.into_inner());
+    let _reset = ResetFaults;
+    fault::silence_injected_panics();
+    let scale = Scale::smoke();
+
+    pool::set_threads(2);
+    let reference = figure_by_id("fig01", &scale).expect("known figure id")[0].to_markdown();
+
+    // The transient fires on attempt 0 only; one retry must fully recover.
+    fault::install(FaultPlan::parse("seed=1,panic=fig01:0:transient").expect("valid plan"));
+    grid::set_fault_policy(FaultPolicy {
+        isolate: true,
+        max_retries: 2,
+    });
+    grid::reset_stats();
+    grid::take_quarantined();
+    let retried = figure_by_id("fig01", &scale).expect("known figure id")[0].to_markdown();
+
+    assert_eq!(
+        retried, reference,
+        "a retried transient must not perturb the figure"
+    );
+    assert!(grid::take_quarantined().is_empty(), "nothing to quarantine");
+    let stats = grid::take_stats();
+    let cell = stats
+        .iter()
+        .find(|s| s.figure == "fig01" && s.index == 0)
+        .expect("cell 0 recorded");
+    assert_eq!(cell.attempts, 2, "one injected transient, one retry");
+    assert!(
+        stats
+            .iter()
+            .filter(|s| s.figure == "fig01" && s.index != 0)
+            .all(|s| s.attempts == 1),
+        "siblings must not retry"
+    );
+}
+
+#[test]
+fn quarantine_outcome_is_thread_count_invariant() {
+    let _exclusive = EXCLUSIVE.lock().unwrap_or_else(|e| e.into_inner());
+    let _reset = ResetFaults;
+    fault::silence_injected_panics();
+    let scale = Scale::smoke();
+
+    let run = |threads: usize| {
+        pool::set_threads(threads);
+        fault::install(FaultPlan::parse("seed=7,panic=fig01:2:poison").expect("valid plan"));
+        grid::set_fault_policy(FaultPolicy {
+            isolate: true,
+            max_retries: 1,
+        });
+        grid::take_quarantined();
+        let markdown = figure_by_id("fig01", &scale).expect("known figure id")[0].to_markdown();
+        let quarantined = grid::take_quarantined();
+        fault::clear();
+        (markdown, quarantined.len())
+    };
+
+    let (serial, serial_q) = run(1);
+    let (parallel, parallel_q) = run(4);
+    assert_eq!(serial_q, 1);
+    assert_eq!(parallel_q, 1);
+    assert_eq!(
+        serial, parallel,
+        "quarantine decisions must not depend on worker count"
+    );
+}
