@@ -6,7 +6,7 @@
 
 use std::hint::black_box;
 
-use btb_trace::{read_binary, write_binary};
+use btb_trace::{read_binary, read_binary_batched, write_binary};
 use btb_workloads::{AppSpec, InputConfig};
 use sim_support::BenchHarness;
 
@@ -36,6 +36,9 @@ fn main() {
     });
     harness.bench("codec_decode", records, || {
         black_box(read_binary(&mut encoded.as_slice()).expect("decode"))
+    });
+    harness.bench("codec_decode_batched", records, || {
+        black_box(read_binary_batched(&mut encoded.as_slice()).expect("decode"))
     });
     harness.finish(RESULTS_DIR);
 }

@@ -12,11 +12,10 @@
 //! `--threads N` / `SIM_THREADS` workers and reported in the order given.
 
 use std::fs::File;
-use std::io::BufReader;
 use std::process::exit;
 
 use btb_model::BtbConfig;
-use btb_trace::{read_binary, Trace};
+use btb_trace::{read_binary_batched, Trace};
 use sim_support::pool;
 use thermometer::pipeline::{Pipeline, PipelineConfig, POLICY_NAMES};
 use thermometer::{HintTable, TemperatureConfig};
@@ -97,9 +96,9 @@ fn main() {
 }
 
 fn load(path: &str) -> Trace {
-    let file = File::open(path).unwrap_or_else(|e| usage(&format!("cannot open {path}: {e}")));
-    read_binary(&mut BufReader::new(file))
-        .unwrap_or_else(|e| usage(&format!("cannot decode {path}: {e}")))
+    let mut file = File::open(path).unwrap_or_else(|e| usage(&format!("cannot open {path}: {e}")));
+    // The batch reader buffers internally; no BufReader needed.
+    read_binary_batched(&mut file).unwrap_or_else(|e| usage(&format!("cannot decode {path}: {e}")))
 }
 
 fn print_report(r: &SimReport) {

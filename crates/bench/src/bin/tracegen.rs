@@ -9,10 +9,10 @@
 //! ```
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::BufWriter;
 use std::process::exit;
 
-use btb_trace::{read_binary, write_binary, BranchKind, TraceStats};
+use btb_trace::{read_binary_batched, write_binary, BranchKind, TraceStats};
 use btb_workloads::{cbp5_suite, ipc1_suite, AppSpec, InputConfig, SuiteParams};
 
 fn main() {
@@ -114,8 +114,9 @@ fn info(args: &[String]) {
     let Some(path) = args.first() else {
         usage("info: missing file")
     };
-    let file = File::open(path).unwrap_or_else(|e| usage(&format!("cannot open {path}: {e}")));
-    let trace = read_binary(&mut BufReader::new(file))
+    let mut file = File::open(path).unwrap_or_else(|e| usage(&format!("cannot open {path}: {e}")));
+    // The batch reader buffers internally; no BufReader needed.
+    let trace = read_binary_batched(&mut file)
         .unwrap_or_else(|e| usage(&format!("cannot decode {path}: {e}")));
     let stats = TraceStats::collect(&trace);
     println!("trace          {}", trace.name());

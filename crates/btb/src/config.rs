@@ -111,8 +111,19 @@ impl Geometry {
     /// `(pc >> 2) mod sets` — the paper's address-modulo hash (§4.2)
     /// applied above the 4-byte instruction alignment of our traces
     /// (a plain byte-address modulo would strand 3/4 of the sets).
+    ///
+    /// Power-of-two set counts (the Table 1 baseline has 2048) take a mask
+    /// instead of a hardware-divide; the iso-storage remainder geometry
+    /// (1995 sets) falls back to the modulo. Both compute the same index.
+    #[inline]
     pub fn set_of(&self, pc: u64) -> usize {
-        ((pc >> 2) % self.sets() as u64) as usize
+        let sets = self.sets() as u64;
+        let idx = pc >> 2;
+        if sets.is_power_of_two() {
+            (idx & (sets - 1)) as usize
+        } else {
+            (idx % sets) as usize
+        }
     }
 }
 

@@ -15,8 +15,10 @@ pub trait BtbInterface {
     /// Performs one demand access for a dynamically taken branch.
     fn access(&mut self, ctx: &AccessContext) -> AccessOutcome;
 
-    /// Looks up `pc` without mutating replacement state.
-    fn probe(&self, pc: u64) -> Option<&BtbEntry>;
+    /// Looks up `pc` without mutating replacement state. Returns the entry
+    /// by value: the flat SoA storage keeps entry fields in separate
+    /// arrays, so there is no whole `BtbEntry` in memory to borrow.
+    fn probe(&self, pc: u64) -> Option<BtbEntry>;
 
     /// Installs an entry on behalf of a prefetcher; returns false when the
     /// underlying policy rejected (bypassed) the fill.
@@ -28,6 +30,11 @@ pub trait BtbInterface {
     fn prefetch_fill_hinted(&mut self, pc: u64, target: u64, kind: BranchKind, _hint: u8) -> bool {
         self.prefetch_fill(pc, target, kind)
     }
+
+    /// Hints that `pc` will be accessed soon (software prefetch of the
+    /// relevant set row). Purely advisory — defaults to a no-op, and
+    /// implementations must not change any observable state.
+    fn warm(&self, _pc: u64) {}
 
     /// Aggregated statistics. Composite organizations report the sum of
     /// their parts.
@@ -45,7 +52,7 @@ impl<P: ReplacementPolicy> BtbInterface for Btb<P> {
         Btb::access(self, ctx)
     }
 
-    fn probe(&self, pc: u64) -> Option<&BtbEntry> {
+    fn probe(&self, pc: u64) -> Option<BtbEntry> {
         Btb::probe(self, pc)
     }
 
@@ -55,6 +62,10 @@ impl<P: ReplacementPolicy> BtbInterface for Btb<P> {
 
     fn prefetch_fill_hinted(&mut self, pc: u64, target: u64, kind: BranchKind, hint: u8) -> bool {
         Btb::prefetch_fill_hinted(self, pc, target, kind, hint)
+    }
+
+    fn warm(&self, pc: u64) {
+        Btb::warm(self, pc);
     }
 
     fn stats(&self) -> BtbStats {

@@ -36,6 +36,7 @@ pub mod interface;
 pub mod multilevel;
 pub mod policies;
 pub mod policy;
+pub mod reference;
 pub mod reuse;
 pub mod stats;
 pub mod storage;
@@ -45,6 +46,7 @@ pub use interface::BtbInterface;
 pub use multilevel::TwoLevelBtb;
 pub use policy::{AccessContext, ReplacementPolicy, Victim};
 pub use stats::BtbStats;
+pub use storage::SoaStorage;
 
 use btb_trace::BranchKind;
 
@@ -95,23 +97,20 @@ impl AccessOutcome {
     }
 }
 
-struct Set {
-    ways: Vec<Option<BtbEntry>>,
-}
-
-impl std::fmt::Debug for Set {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Set")
-            .field("occupied", &self.ways.iter().flatten().count())
-            .finish()
-    }
-}
-
 /// A set-associative BTB parameterized by its replacement policy.
+///
+/// Entries live in a flat structure-of-arrays [`SoaStorage`] — one
+/// contiguous array per field instead of per-entry structs — so the hit
+/// scan walks a single cache line of PCs. The legacy per-entry layout
+/// survives as [`reference::ReferenceBtb`], and
+/// `tests/storage_differential.rs` keeps the two behaviourally identical.
 #[derive(Debug)]
 pub struct Btb<P> {
     geometry: Geometry,
-    sets: Vec<Set>,
+    storage: SoaStorage,
+    /// Reused scratch for replacement decisions, so a full set does not
+    /// heap-allocate a resident vector on every miss.
+    resident_buf: Vec<BtbEntry>,
     policy: P,
     stats: BtbStats,
     access_index: u64,
@@ -122,14 +121,10 @@ impl<P: ReplacementPolicy> Btb<P> {
     pub fn new(config: BtbConfig, mut policy: P) -> Self {
         let geometry = config.geometry();
         policy.reset(&geometry);
-        let sets = (0..geometry.sets())
-            .map(|s| Set {
-                ways: vec![None; geometry.ways_of(s)],
-            })
-            .collect();
         Self {
             geometry,
-            sets,
+            storage: SoaStorage::new(&geometry),
+            resident_buf: Vec::with_capacity(geometry.ways()),
             policy,
             stats: BtbStats::default(),
             access_index: 0,
@@ -154,10 +149,21 @@ impl<P: ReplacementPolicy> Btb<P> {
 
     /// Looks up `pc` without updating any state (a *probe*). Used by the
     /// frontend to check residency during fetch without perturbing
-    /// replacement metadata.
-    pub fn probe(&self, pc: u64) -> Option<&BtbEntry> {
+    /// replacement metadata. Returns the entry by value — entry fields live
+    /// in separate arrays, so there is no resident `BtbEntry` to borrow.
+    pub fn probe(&self, pc: u64) -> Option<BtbEntry> {
         let set = self.geometry.set_of(pc);
-        self.sets[set].ways.iter().flatten().find(|e| e.pc == pc)
+        self.storage
+            .find(set, pc)
+            .map(|way| self.storage.entry(set, way))
+    }
+
+    /// Hints that `pc`'s set will be accessed soon, so trace-driven callers
+    /// that know their stream ahead of time can overlap the row fetch with
+    /// other work. No architectural effect.
+    #[inline]
+    pub fn warm(&self, pc: u64) {
+        self.storage.warm(self.geometry.set_of(pc));
     }
 
     /// Performs one BTB access for a dynamically taken branch.
@@ -192,16 +198,9 @@ impl<P: ReplacementPolicy> Btb<P> {
         self.stats.accesses += 1;
 
         let set = self.geometry.set_of(ctx.pc);
-        // Hit path.
-        if let Some(way) = self.sets[set]
-            .ways
-            .iter()
-            .position(|e| e.map(|e| e.pc) == Some(ctx.pc))
-        {
-            let entry = self.sets[set].ways[way].as_mut().expect("hit way occupied");
-            let target_matched = entry.target == ctx.target;
-            entry.target = ctx.target;
-            entry.hint = ctx.hint;
+        // Hit path: scan the contiguous PC row (resident ways are a prefix).
+        if let Some(way) = self.storage.find(set, ctx.pc) {
+            let target_matched = self.storage.rehit(set, way, ctx.target, ctx.hint);
             self.stats.hits += 1;
             if !target_matched {
                 self.stats.target_mismatches += 1;
@@ -219,32 +218,28 @@ impl<P: ReplacementPolicy> Btb<P> {
         };
 
         // Free-way fill path.
-        if let Some(way) = self.sets[set].ways.iter().position(Option::is_none) {
-            self.sets[set].ways[way] = Some(incoming);
+        if let Some(way) = self.storage.free_way(set) {
+            self.storage.write(set, way, incoming);
             self.stats.fills += 1;
             self.policy.on_fill(set, way, &ctx);
             return AccessOutcome::MissInserted;
         }
 
-        // Replacement path.
-        let resident: Vec<BtbEntry> = self.sets[set]
-            .ways
-            .iter()
-            .map(|e| e.expect("set full"))
-            .collect();
-        match self.policy.choose_victim(set, &resident, &ctx) {
+        // Replacement path: gather residents into the reused scratch buffer.
+        self.storage.gather(set, &mut self.resident_buf);
+        match self.policy.choose_victim(set, &self.resident_buf, &ctx) {
             Victim::Bypass => {
                 self.stats.bypasses += 1;
                 AccessOutcome::MissBypassed
             }
             Victim::Evict(way) => {
                 assert!(
-                    way < resident.len(),
+                    way < self.resident_buf.len(),
                     "policy chose way {way} of {}",
-                    resident.len()
+                    self.resident_buf.len()
                 );
-                let evicted = resident[way];
-                self.sets[set].ways[way] = Some(incoming);
+                let evicted = self.resident_buf[way];
+                self.storage.write(set, way, incoming);
                 self.stats.evictions += 1;
                 self.policy.on_replace(set, way, &evicted, &ctx);
                 AccessOutcome::MissInserted
@@ -278,11 +273,7 @@ impl<P: ReplacementPolicy> Btb<P> {
             access_index: self.access_index,
         };
         let set = self.geometry.set_of(pc);
-        if self.sets[set]
-            .ways
-            .iter()
-            .any(|e| e.map(|e| e.pc) == Some(pc))
-        {
+        if self.storage.find(set, pc).is_some() {
             return true; // already resident
         }
         self.stats.prefetch_fills += 1;
@@ -292,21 +283,17 @@ impl<P: ReplacementPolicy> Btb<P> {
             kind,
             hint,
         };
-        if let Some(way) = self.sets[set].ways.iter().position(Option::is_none) {
-            self.sets[set].ways[way] = Some(incoming);
+        if let Some(way) = self.storage.free_way(set) {
+            self.storage.write(set, way, incoming);
             self.policy.on_fill(set, way, &ctx);
             return true;
         }
-        let resident: Vec<BtbEntry> = self.sets[set]
-            .ways
-            .iter()
-            .map(|e| e.expect("set full"))
-            .collect();
-        match self.policy.choose_victim(set, &resident, &ctx) {
+        self.storage.gather(set, &mut self.resident_buf);
+        match self.policy.choose_victim(set, &self.resident_buf, &ctx) {
             Victim::Bypass => false,
             Victim::Evict(way) => {
-                let evicted = resident[way];
-                self.sets[set].ways[way] = Some(incoming);
+                let evicted = self.resident_buf[way];
+                self.storage.write(set, way, incoming);
                 self.stats.prefetch_evictions += 1;
                 self.policy.on_replace(set, way, &evicted, &ctx);
                 true
@@ -316,9 +303,7 @@ impl<P: ReplacementPolicy> Btb<P> {
 
     /// Empties the BTB and resets statistics and policy state.
     pub fn clear(&mut self) {
-        for set in &mut self.sets {
-            set.ways.fill(None);
-        }
+        self.storage.clear();
         self.stats = BtbStats::default();
         self.access_index = 0;
         self.policy.reset(&self.geometry);
@@ -326,10 +311,7 @@ impl<P: ReplacementPolicy> Btb<P> {
 
     /// Number of currently resident entries.
     pub fn occupancy(&self) -> usize {
-        self.sets
-            .iter()
-            .map(|s| s.ways.iter().flatten().count())
-            .sum()
+        self.storage.occupancy()
     }
 
     /// Number of currently resident entries in set `s`.
@@ -338,7 +320,13 @@ impl<P: ReplacementPolicy> Btb<P> {
     ///
     /// Panics if `s` is out of range.
     pub fn set_occupancy(&self, s: usize) -> usize {
-        self.sets[s].ways.iter().flatten().count()
+        assert!(s < self.storage.sets(), "set {s} out of range");
+        self.storage.occupancy_of(s)
+    }
+
+    /// Per-set resident contents in way order (for the differential tests).
+    pub fn snapshot(&self) -> Vec<Vec<BtbEntry>> {
+        self.storage.snapshot()
     }
 }
 

@@ -88,7 +88,7 @@ impl<P: ReplacementPolicy> BtbInterface for TwoLevelBtb<P> {
         outcome
     }
 
-    fn probe(&self, pc: u64) -> Option<&BtbEntry> {
+    fn probe(&self, pc: u64) -> Option<BtbEntry> {
         self.l1.probe(pc).or_else(|| self.l2.probe(pc))
     }
 

@@ -8,7 +8,7 @@
 //! follower sets. Included as an extension baseline: the paper evaluates
 //! SRRIP; DRRIP is the natural next rung on the RRIP ladder.
 
-use crate::policies::WayTable;
+use crate::policies::{rrip_victim, WayTable};
 use crate::policy::{AccessContext, ReplacementPolicy, Victim};
 use crate::{BtbEntry, Geometry};
 
@@ -130,15 +130,7 @@ impl ReplacementPolicy for Drrip {
         _resident: &[BtbEntry],
         _ctx: &AccessContext,
     ) -> Victim {
-        let row = self.rrpv.row_mut(set);
-        loop {
-            if let Some(way) = row.iter().position(|&v| v == RRPV_MAX) {
-                return Victim::Evict(way);
-            }
-            for v in row.iter_mut() {
-                *v += 1;
-            }
-        }
+        Victim::Evict(rrip_victim(self.rrpv.row_mut(set), RRPV_MAX))
     }
 
     fn on_replace(&mut self, set: usize, way: usize, _evicted: &BtbEntry, _ctx: &AccessContext) {

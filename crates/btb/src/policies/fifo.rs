@@ -4,7 +4,7 @@
 //! fall back to): cheaper metadata than LRU but blind to reuse, so it
 //! bounds LRU from below on reuse-friendly streams.
 
-use crate::policies::WayTable;
+use crate::policies::{min_way, WayTable};
 use crate::policy::{AccessContext, ReplacementPolicy, Victim};
 use crate::{BtbEntry, Geometry};
 
@@ -51,12 +51,7 @@ impl ReplacementPolicy for Fifo {
         _resident: &[BtbEntry],
         _ctx: &AccessContext,
     ) -> Victim {
-        let row = self.filled_at.row(set);
-        Victim::Evict(
-            (0..row.len())
-                .min_by_key(|&w| row[w])
-                .expect("set non-empty"),
-        )
+        Victim::Evict(min_way(self.filled_at.row(set)))
     }
 
     fn on_replace(&mut self, set: usize, way: usize, _evicted: &BtbEntry, _ctx: &AccessContext) {

@@ -1,6 +1,6 @@
 //! Least-recently-used replacement — the paper's baseline.
 
-use crate::policies::WayTable;
+use crate::policies::{min_way, WayTable};
 use crate::policy::{AccessContext, ReplacementPolicy, Victim};
 use crate::{BtbEntry, Geometry};
 
@@ -28,10 +28,7 @@ impl Lru {
     /// Public so composite policies (e.g. Thermometer, which tie-breaks
     /// among coldest-temperature candidates with LRU) can reuse the stamps.
     pub fn lru_way(&self, set: usize) -> usize {
-        let row = self.stamps.row(set);
-        (0..row.len())
-            .min_by_key(|&w| row[w])
-            .expect("set has at least one way")
+        min_way(self.stamps.row(set))
     }
 
     /// Least recently used way among an explicit candidate list.
@@ -46,6 +43,29 @@ impl Lru {
             .copied()
             .min_by_key(|&w| row[w])
             .expect("candidate list is non-empty")
+    }
+
+    /// Least recently used way among the first `ways` ways that satisfy
+    /// `keep`, or `None` when no way does. The allocation-free form of
+    /// [`Lru::lru_way_among`] for callers (e.g. Thermometer's coldest-first
+    /// tie-break) that would otherwise collect a candidate `Vec` per miss.
+    /// Same tie-break as [`Lru::lru_way`]: first minimum wins.
+    pub fn lru_way_filtered(
+        &self,
+        set: usize,
+        ways: usize,
+        mut keep: impl FnMut(usize) -> bool,
+    ) -> Option<usize> {
+        let row = &self.stamps.row(set)[..ways];
+        let mut best: Option<usize> = None;
+        let mut best_val = u64::MAX;
+        for (w, &v) in row.iter().enumerate() {
+            if keep(w) && (best.is_none() || v < best_val) {
+                best = Some(w);
+                best_val = v;
+            }
+        }
+        best
     }
 }
 
@@ -101,6 +121,36 @@ mod tests {
         assert!(btb.probe(10).is_some());
         assert!(btb.probe(20).is_none());
         assert!(btb.probe(30).is_some());
+    }
+
+    #[test]
+    fn filtered_scan_matches_candidate_list_reference() {
+        // lru_way_filtered must agree with the readable collect-then-
+        // lru_way_among form it replaced on Thermometer's victim path,
+        // including first-minimum tie-breaks and the all-filtered case.
+        sim_support::forall!(cases: 256, gen: |rng| {
+            let ways = rng.gen_range(1usize..9);
+            let stamps: Vec<u64> =
+                (0..ways).map(|_| rng.gen_range(0u64..6)).collect();
+            let kept: Vec<bool> = (0..ways).map(|_| rng.gen_range(0u32..2) == 1).collect();
+            (stamps, kept)
+        }, prop: |(stamps, kept)| {
+            let ways = stamps.len();
+            let mut lru = Lru::new();
+            lru.reset(&crate::BtbConfig::new(ways, ways).geometry());
+            for (w, &stamp) in stamps.iter().enumerate() {
+                *lru.stamps.get_mut(0, w) = stamp;
+            }
+            let candidates: Vec<usize> =
+                (0..ways).filter(|&w| kept[w]).collect();
+            let expected = (!candidates.is_empty())
+                .then(|| lru.lru_way_among(0, &candidates));
+            assert_eq!(
+                lru.lru_way_filtered(0, ways, |w| kept[w]),
+                expected,
+                "stamps {stamps:?} kept {kept:?}"
+            );
+        });
     }
 
     #[test]

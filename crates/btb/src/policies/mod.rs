@@ -30,43 +30,125 @@ use crate::Geometry;
 
 /// Per-(set, way) metadata storage shared by policy implementations.
 ///
-/// Sized from a [`Geometry`] (including the smaller remainder set).
+/// Sized from a [`Geometry`] (including the smaller remainder set). The
+/// rows live in one flat allocation at a fixed stride — a row access is a
+/// base-plus-offset slice, not a second pointer chase through a
+/// `Vec<Vec<T>>`.
 #[derive(Clone, Debug, Default)]
 pub(crate) struct WayTable<T> {
-    rows: Vec<Vec<T>>,
+    data: Vec<T>,
+    /// Slots per row; rows start at `set * stride`.
+    stride: usize,
+    sets: usize,
+    /// Length of the final row (smaller for the remainder set).
+    last_len: usize,
 }
 
 impl<T: Clone + Default> WayTable<T> {
     pub(crate) fn sized(geometry: &Geometry) -> Self {
-        let rows = (0..geometry.sets())
-            .map(|s| vec![T::default(); geometry.ways_of(s)])
-            .collect();
-        Self { rows }
+        let sets = geometry.sets();
+        let stride = geometry.ways();
+        let last_len = geometry.ways_of(sets - 1);
+        Self {
+            data: vec![T::default(); (sets - 1) * stride + last_len],
+            stride,
+            sets,
+            last_len,
+        }
     }
 
     /// One slot per set (for per-set — rather than per-way — metadata like
     /// PLRU tree bits).
     pub(crate) fn sized_single(sets: usize) -> Self {
         Self {
-            rows: vec![vec![T::default(); 1]; sets],
+            data: vec![T::default(); sets],
+            stride: 1,
+            sets,
+            last_len: 1,
         }
     }
 
+    #[inline]
+    fn row_len(&self, set: usize) -> usize {
+        if set + 1 == self.sets {
+            self.last_len
+        } else {
+            self.stride
+        }
+    }
+
+    #[inline]
     pub(crate) fn get(&self, set: usize, way: usize) -> &T {
-        &self.rows[set][way]
+        debug_assert!(way < self.row_len(set));
+        &self.data[set * self.stride + way]
     }
 
+    #[inline]
     pub(crate) fn get_mut(&mut self, set: usize, way: usize) -> &mut T {
-        &mut self.rows[set][way]
+        debug_assert!(way < self.row_len(set));
+        &mut self.data[set * self.stride + way]
     }
 
+    #[inline]
     pub(crate) fn row(&self, set: usize) -> &[T] {
-        &self.rows[set]
+        let base = set * self.stride;
+        &self.data[base..base + self.row_len(set)]
     }
 
+    #[inline]
     pub(crate) fn row_mut(&mut self, set: usize) -> &mut [T] {
-        &mut self.rows[set]
+        let base = set * self.stride;
+        let len = self.row_len(set);
+        &mut self.data[base..base + len]
     }
+}
+
+/// First way holding the minimum value — the branchless replacement for
+/// `(0..row.len()).min_by_key(|&w| row[w])` on the LRU/FIFO victim path.
+/// The strict `<` keeps the *first* minimum, matching `Iterator::min_by`'s
+/// tie-break; the select compiles to conditional moves instead of a
+/// data-dependent branch per way.
+#[inline]
+pub(crate) fn min_way(row: &[u64]) -> usize {
+    debug_assert!(!row.is_empty(), "set has at least one way");
+    let mut best = 0usize;
+    let mut best_val = row[0];
+    for (w, &v) in row.iter().enumerate().skip(1) {
+        let take = v < best_val;
+        best = if take { w } else { best };
+        best_val = if take { v } else { best_val };
+    }
+    best
+}
+
+/// The SRRIP/DRRIP victim rule in closed form: age every RRPV by the exact
+/// deficit `RRPV_MAX - max(row)` (the number of aging rounds the iterative
+/// loop would run), then take the first way at the distant value. Requires
+/// every value `<= rrpv_max`, which the insert/promote paths maintain.
+#[inline]
+pub(crate) fn rrip_victim(row: &mut [u8], rrpv_max: u8) -> usize {
+    debug_assert!(!row.is_empty(), "set has at least one way");
+    let mut max = 0u8;
+    for &v in row.iter() {
+        debug_assert!(v <= rrpv_max, "RRPV {v} out of range");
+        max = max.max(v);
+    }
+    let bump = rrpv_max - max;
+    for v in row.iter_mut() {
+        *v += bump;
+    }
+    let mut way = 0usize;
+    let mut found = false;
+    // First way at the distant value, scanned without early-exit branches.
+    for (w, &v) in row.iter().enumerate().rev() {
+        if v == rrpv_max {
+            way = w;
+            found = true;
+        }
+    }
+    debug_assert!(found, "aging must surface a distant entry");
+    let _ = found;
+    way
 }
 
 #[cfg(test)]
@@ -164,6 +246,60 @@ mod tests {
         // GHRP and Hawkeye never evict from a set that is not full either.
         assert_eq!(run(Ghrp::new(GhrpConfig::default())), 4);
         assert_eq!(run(Hawkeye::new(HawkeyeConfig::default())), 4);
+    }
+
+    /// Naive readable reference for [`min_way`]: the iterator form the
+    /// branchless scan replaced.
+    fn min_way_naive(row: &[u64]) -> usize {
+        (0..row.len())
+            .min_by_key(|&w| row[w])
+            .expect("set has at least one way")
+    }
+
+    /// Naive readable reference for [`rrip_victim`]: the original SRRIP
+    /// aging loop (age everyone until someone reaches the distant value,
+    /// evict the first such way).
+    fn rrip_victim_naive(row: &mut [u8], rrpv_max: u8) -> usize {
+        loop {
+            if let Some(way) = row.iter().position(|&v| v == rrpv_max) {
+                return way;
+            }
+            for v in row.iter_mut() {
+                *v += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn min_way_matches_iterator_reference() {
+        sim_support::forall!(cases: 256, gen: |rng| {
+            let len = rng.gen_range(1usize..9);
+            // Small value range to force ties; ties must resolve identically.
+            (0..len).map(|_| rng.gen_range(0u64..4)).collect::<Vec<u64>>()
+        }, shrink: sim_support::forall::shrink_halves, prop: |row| {
+            if row.is_empty() {
+                return; // shrinker may propose an empty half
+            }
+            assert_eq!(min_way(row), min_way_naive(row), "row {row:?}");
+        });
+    }
+
+    #[test]
+    fn rrip_victim_matches_aging_loop_reference() {
+        sim_support::forall!(cases: 256, gen: |rng| {
+            let len = rng.gen_range(1usize..9);
+            (0..len).map(|_| rng.gen_range(0u32..4) as u8).collect::<Vec<u8>>()
+        }, shrink: sim_support::forall::shrink_halves, prop: |row| {
+            if row.is_empty() {
+                return;
+            }
+            let mut fast = row.clone();
+            let mut naive = row.clone();
+            let fast_way = rrip_victim(&mut fast, 3);
+            let naive_way = rrip_victim_naive(&mut naive, 3);
+            assert_eq!(fast_way, naive_way, "victim diverged on {row:?}");
+            assert_eq!(fast, naive, "aged RRPVs diverged on {row:?}");
+        });
     }
 
     #[test]

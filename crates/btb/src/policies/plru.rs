@@ -38,22 +38,26 @@ impl PseudoLru {
         (node - leaves).min(self.ways - 1)
     }
 
-    /// Points every node on `way`'s root path *away* from it.
+    /// Points every node on `way`'s root path *away* from it. Accumulates
+    /// one set-mask and one clear-mask while walking up (multiplying the
+    /// node bit by the 0/1 child side instead of branching per level), then
+    /// applies both with a single read-modify-write of the packed tree.
     fn touch(&mut self, set: usize, way: usize) {
         let leaves = self.leaves();
-        let tree = self.bits.get_mut(set, 0);
+        let mut mask_set = 0u64;
+        let mut mask_clear = 0u64;
         let mut node = leaves + way;
         while node > 1 {
             let parent = node / 2;
-            let went_right = node % 2 == 1;
+            let bit = 1u64 << (parent - 1);
+            let went_right = (node & 1) as u64;
             // Point to the opposite child of the one we used.
-            if went_right {
-                *tree &= !(1 << (parent - 1));
-            } else {
-                *tree |= 1 << (parent - 1);
-            }
+            mask_clear |= bit * went_right;
+            mask_set |= bit * (1 - went_right);
             node = parent;
         }
+        let tree = self.bits.get_mut(set, 0);
+        *tree = (*tree & !mask_clear) | mask_set;
     }
 }
 
@@ -128,6 +132,51 @@ mod tests {
         let p = plru.stats().hits as f64;
         let l = lru.stats().hits as f64;
         assert!((p - l).abs() / l < 0.05, "plru {p} vs lru {l}");
+    }
+
+    /// Naive readable reference for the mask-accumulating `touch`: walk the
+    /// root path flipping one bit per level with an explicit branch.
+    fn touch_naive(tree: u64, leaves: usize, way: usize) -> u64 {
+        let mut tree = tree;
+        let mut node = leaves + way;
+        while node > 1 {
+            let parent = node / 2;
+            let went_right = node % 2 == 1;
+            if went_right {
+                tree &= !(1 << (parent - 1));
+            } else {
+                tree |= 1 << (parent - 1);
+            }
+            node = parent;
+        }
+        tree
+    }
+
+    #[test]
+    fn touch_masks_match_per_level_reference() {
+        sim_support::forall!(cases: 256, gen: |rng| {
+            let ways = rng.gen_range(1usize..17);
+            let tree = rng.next_u64();
+            let touches: Vec<usize> =
+                (0..rng.gen_range(1usize..12)).map(|_| rng.gen_range(0..ways)).collect();
+            (ways, tree, touches)
+        }, prop: |&(ways, tree, ref touches)| {
+            let mut plru = PseudoLru::new();
+            plru.reset(&crate::BtbConfig::new(ways, ways).geometry());
+            let leaves = ways.next_power_of_two();
+            // Seed both sides with the same arbitrary tree bits.
+            *plru.bits.get_mut(0, 0) = tree;
+            let mut expected = tree;
+            for &way in touches {
+                plru.touch(0, way);
+                expected = touch_naive(expected, leaves, way);
+                assert_eq!(
+                    *plru.bits.get(0, 0),
+                    expected,
+                    "tree bits diverged after touching way {way} of {ways}"
+                );
+            }
+        });
     }
 
     #[test]

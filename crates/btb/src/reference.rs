@@ -1,0 +1,220 @@
+//! The legacy per-entry BTB implementation, kept verbatim as the oracle
+//! for the storage differential tests.
+//!
+//! [`ReferenceBtb`] is the pre-SoA [`crate::Btb`]: a `Vec` of sets, each a
+//! `Vec<Option<BtbEntry>>`, with a fresh resident `Vec` collected on every
+//! replacement decision. It is deliberately *not* optimized — its value is
+//! that the control flow is trivially auditable, so
+//! `tests/storage_differential.rs` can drive the whole policy zoo through
+//! both implementations and require identical statistics and identical
+//! final set contents. Do not "improve" this module; change [`crate::Btb`]
+//! and let the differential battery prove the change behavior-preserving.
+
+use btb_trace::BranchKind;
+
+use crate::policy::{AccessContext, ReplacementPolicy, Victim};
+use crate::stats::BtbStats;
+use crate::{AccessOutcome, BtbConfig, BtbEntry, Geometry};
+
+struct Set {
+    ways: Vec<Option<BtbEntry>>,
+}
+
+/// The legacy array-of-structs BTB (differential-test oracle).
+pub struct ReferenceBtb<P> {
+    geometry: Geometry,
+    sets: Vec<Set>,
+    policy: P,
+    stats: BtbStats,
+    access_index: u64,
+}
+
+impl<P: ReplacementPolicy> ReferenceBtb<P> {
+    /// Creates a reference BTB with the given geometry and policy.
+    pub fn new(config: BtbConfig, mut policy: P) -> Self {
+        let geometry = config.geometry();
+        policy.reset(&geometry);
+        let sets = (0..geometry.sets())
+            .map(|s| Set {
+                ways: vec![None; geometry.ways_of(s)],
+            })
+            .collect();
+        Self {
+            geometry,
+            sets,
+            policy,
+            stats: BtbStats::default(),
+            access_index: 0,
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &BtbStats {
+        &self.stats
+    }
+
+    /// Looks up `pc` without updating any state.
+    pub fn probe(&self, pc: u64) -> Option<BtbEntry> {
+        let set = self.geometry.set_of(pc);
+        self.sets[set]
+            .ways
+            .iter()
+            .flatten()
+            .find(|e| e.pc == pc)
+            .copied()
+    }
+
+    /// Performs one BTB access for a dynamically taken branch.
+    pub fn access_taken(
+        &mut self,
+        pc: u64,
+        target: u64,
+        kind: BranchKind,
+        next_use: u64,
+    ) -> AccessOutcome {
+        self.access(&AccessContext {
+            pc,
+            target,
+            kind,
+            hint: 0,
+            next_use,
+            access_index: self.access_index,
+        })
+    }
+
+    /// Performs one BTB access with a fully populated context.
+    pub fn access(&mut self, ctx: &AccessContext) -> AccessOutcome {
+        let mut ctx = *ctx;
+        ctx.access_index = self.access_index;
+        self.access_index += 1;
+        self.stats.accesses += 1;
+
+        let set = self.geometry.set_of(ctx.pc);
+        if let Some(way) = self.sets[set]
+            .ways
+            .iter()
+            .position(|e| e.map(|e| e.pc) == Some(ctx.pc))
+        {
+            let entry = self.sets[set].ways[way].as_mut().expect("hit way occupied");
+            let target_matched = entry.target == ctx.target;
+            entry.target = ctx.target;
+            entry.hint = ctx.hint;
+            self.stats.hits += 1;
+            if !target_matched {
+                self.stats.target_mismatches += 1;
+            }
+            self.policy.on_hit(set, way, &ctx);
+            return AccessOutcome::Hit { target_matched };
+        }
+
+        self.stats.misses += 1;
+        let incoming = BtbEntry {
+            pc: ctx.pc,
+            target: ctx.target,
+            kind: ctx.kind,
+            hint: ctx.hint,
+        };
+
+        if let Some(way) = self.sets[set].ways.iter().position(Option::is_none) {
+            self.sets[set].ways[way] = Some(incoming);
+            self.stats.fills += 1;
+            self.policy.on_fill(set, way, &ctx);
+            return AccessOutcome::MissInserted;
+        }
+
+        let resident: Vec<BtbEntry> = self.sets[set]
+            .ways
+            .iter()
+            .map(|e| e.expect("set full"))
+            .collect();
+        match self.policy.choose_victim(set, &resident, &ctx) {
+            Victim::Bypass => {
+                self.stats.bypasses += 1;
+                AccessOutcome::MissBypassed
+            }
+            Victim::Evict(way) => {
+                assert!(
+                    way < resident.len(),
+                    "policy chose way {way} of {}",
+                    resident.len()
+                );
+                let evicted = resident[way];
+                self.sets[set].ways[way] = Some(incoming);
+                self.stats.evictions += 1;
+                self.policy.on_replace(set, way, &evicted, &ctx);
+                AccessOutcome::MissInserted
+            }
+        }
+    }
+
+    /// Inserts an entry on behalf of a prefetcher.
+    pub fn prefetch_fill_hinted(
+        &mut self,
+        pc: u64,
+        target: u64,
+        kind: BranchKind,
+        hint: u8,
+    ) -> bool {
+        let ctx = AccessContext {
+            pc,
+            target,
+            kind,
+            hint,
+            next_use: btb_trace::next_use::NEVER,
+            access_index: self.access_index,
+        };
+        let set = self.geometry.set_of(pc);
+        if self.sets[set]
+            .ways
+            .iter()
+            .any(|e| e.map(|e| e.pc) == Some(pc))
+        {
+            return true;
+        }
+        self.stats.prefetch_fills += 1;
+        let incoming = BtbEntry {
+            pc,
+            target,
+            kind,
+            hint,
+        };
+        if let Some(way) = self.sets[set].ways.iter().position(Option::is_none) {
+            self.sets[set].ways[way] = Some(incoming);
+            self.policy.on_fill(set, way, &ctx);
+            return true;
+        }
+        let resident: Vec<BtbEntry> = self.sets[set]
+            .ways
+            .iter()
+            .map(|e| e.expect("set full"))
+            .collect();
+        match self.policy.choose_victim(set, &resident, &ctx) {
+            Victim::Bypass => false,
+            Victim::Evict(way) => {
+                let evicted = resident[way];
+                self.sets[set].ways[way] = Some(incoming);
+                self.stats.prefetch_evictions += 1;
+                self.policy.on_replace(set, way, &evicted, &ctx);
+                true
+            }
+        }
+    }
+
+    /// Number of currently resident entries.
+    pub fn occupancy(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|s| s.ways.iter().flatten().count())
+            .sum()
+    }
+
+    /// Per-set resident contents in way order (compacted: occupied ways
+    /// always form a prefix, so `None` gaps never occur in practice; any
+    /// that did would show up as a snapshot mismatch).
+    pub fn snapshot(&self) -> Vec<Vec<BtbEntry>> {
+        self.sets
+            .iter()
+            .map(|s| s.ways.iter().flatten().copied().collect())
+            .collect()
+    }
+}

@@ -1,4 +1,5 @@
-//! BTB storage accounting.
+//! BTB storage: bit-level accounting and the flat structure-of-arrays
+//! backing store.
 //!
 //! The paper's iso-storage argument (§3.3–§3.4, Fig. 11) rests on bit-level
 //! arithmetic: a 75 KB, 8192-entry BTB stores ~75-bit entries; adding a
@@ -7,6 +8,212 @@
 //! module makes that accounting explicit and testable, including the entry
 //! layouts that related BTB-compression work (partial tags, target deltas)
 //! trades against.
+//!
+//! [`SoaStorage`] is the simulator-side layout: instead of a
+//! `Vec<Set { Vec<Option<BtbEntry>> }>` (two pointer hops plus an `Option`
+//! discriminant per way), each entry field lives in one flat array indexed
+//! by `set * stride + way`. A hit scan touches one contiguous cache line of
+//! PCs; fills and evictions write the parallel arrays at the same index.
+//! Occupancy is a single counter per set, which is sound because resident
+//! ways always form a prefix: entries are only ever filled into the first
+//! free way, replaced in place, or cleared wholesale — never invalidated
+//! individually. `tests/storage_differential.rs` pins this layout against
+//! the legacy per-entry [`reference`](crate::reference) implementation.
+
+use btb_trace::BranchKind;
+
+use crate::{BtbEntry, Geometry};
+
+/// Flat structure-of-arrays backing store for a set-associative BTB.
+#[derive(Clone, Debug)]
+pub struct SoaStorage {
+    /// Slots per set row (the full-set associativity).
+    stride: usize,
+    sets: usize,
+    /// Ways of the final set (smaller for the remainder geometry).
+    last_ways: usize,
+    /// Branch PCs, `pcs[set * stride + way]`; only `0..occupancy[set]` of a
+    /// row is meaningful.
+    pcs: Vec<u64>,
+    targets: Vec<u64>,
+    kinds: Vec<BranchKind>,
+    hints: Vec<u8>,
+    /// Resident entries per set; valid ways are exactly `0..occupancy[set]`.
+    occupancy: Vec<u16>,
+}
+
+impl SoaStorage {
+    /// Creates empty storage for `geometry`.
+    pub fn new(geometry: &Geometry) -> Self {
+        let sets = geometry.sets();
+        let stride = geometry.ways();
+        assert!(stride <= usize::from(u16::MAX), "associativity too large");
+        let slots = sets * stride;
+        Self {
+            stride,
+            sets,
+            last_ways: geometry.ways_of(sets - 1),
+            pcs: vec![0; slots],
+            targets: vec![0; slots],
+            kinds: vec![BranchKind::default(); slots],
+            hints: vec![0; slots],
+            occupancy: vec![0; sets],
+        }
+    }
+
+    /// Number of ways in `set` (the final set may be the smaller remainder).
+    #[inline]
+    pub fn ways_of(&self, set: usize) -> usize {
+        if set + 1 == self.sets {
+            self.last_ways
+        } else {
+            self.stride
+        }
+    }
+
+    /// Hints that `set`'s row will be probed soon (see
+    /// [`sim_support::prefetch_read`]); no architectural effect.
+    #[inline]
+    pub fn warm(&self, set: usize) {
+        let base = set * self.stride;
+        sim_support::prefetch_read(&raw const self.occupancy[set]);
+        sim_support::prefetch_read(&raw const self.pcs[base]);
+    }
+
+    /// The way holding `pc` in `set`, if resident.
+    #[inline]
+    pub fn find(&self, set: usize, pc: u64) -> Option<usize> {
+        let base = set * self.stride;
+        let occ = usize::from(self.occupancy[set]);
+        // Exitless fixed-width scan for the dominant geometries (Table 1's
+        // BTBs are 4- or 8-way). Scanning the whole row with a `w < occ`
+        // mask is equivalent to the prefix scan: ways at or beyond `occ`
+        // are excluded by the mask, and resident pcs are unique so
+        // keep-last equals keep-first.
+        match self.stride {
+            4 if base + 4 <= self.pcs.len() => {
+                Self::find_row::<4>(&self.pcs[base..base + 4], occ, pc)
+            }
+            8 if base + 8 <= self.pcs.len() => {
+                Self::find_row::<8>(&self.pcs[base..base + 8], occ, pc)
+            }
+            _ => self.pcs[base..base + occ].iter().position(|&p| p == pc),
+        }
+    }
+
+    #[inline(always)]
+    fn find_row<const W: usize>(row: &[u64], occ: usize, pc: u64) -> Option<usize> {
+        let row: &[u64; W] = row.try_into().expect("row width");
+        let mut hit = usize::MAX;
+        for (w, &p) in row.iter().enumerate() {
+            hit = if w < occ && p == pc { w } else { hit };
+        }
+        (hit != usize::MAX).then_some(hit)
+    }
+
+    /// Reconstructs the entry at `(set, way)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is not resident.
+    #[inline]
+    pub fn entry(&self, set: usize, way: usize) -> BtbEntry {
+        assert!(way < usize::from(self.occupancy[set]), "way {way} empty");
+        let i = set * self.stride + way;
+        BtbEntry {
+            pc: self.pcs[i],
+            target: self.targets[i],
+            kind: self.kinds[i],
+            hint: self.hints[i],
+        }
+    }
+
+    /// Refreshes target and hint on a hit; returns whether the cached
+    /// target already matched.
+    #[inline]
+    pub fn rehit(&mut self, set: usize, way: usize, target: u64, hint: u8) -> bool {
+        let i = set * self.stride + way;
+        let matched = self.targets[i] == target;
+        self.targets[i] = target;
+        self.hints[i] = hint;
+        matched
+    }
+
+    /// The first free way of `set`, or `None` when the set is full.
+    #[inline]
+    pub fn free_way(&self, set: usize) -> Option<usize> {
+        let occ = usize::from(self.occupancy[set]);
+        (occ < self.ways_of(set)).then_some(occ)
+    }
+
+    /// Writes `entry` into `(set, way)`, growing the resident prefix when
+    /// `way` is the first free slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` would leave a gap in the resident prefix.
+    #[inline]
+    pub fn write(&mut self, set: usize, way: usize, entry: BtbEntry) {
+        let occ = usize::from(self.occupancy[set]);
+        assert!(way <= occ, "write to way {way} would leave a gap");
+        if way == occ {
+            self.occupancy[set] = (occ + 1) as u16;
+        }
+        let i = set * self.stride + way;
+        self.pcs[i] = entry.pc;
+        self.targets[i] = entry.target;
+        self.kinds[i] = entry.kind;
+        self.hints[i] = entry.hint;
+    }
+
+    /// Copies the resident entries of `set` (in way order) into `buf`,
+    /// reusing its capacity.
+    #[inline]
+    pub fn gather(&self, set: usize, buf: &mut Vec<BtbEntry>) {
+        buf.clear();
+        let base = set * self.stride;
+        let occ = usize::from(self.occupancy[set]);
+        buf.extend((base..base + occ).map(|i| BtbEntry {
+            pc: self.pcs[i],
+            target: self.targets[i],
+            kind: self.kinds[i],
+            hint: self.hints[i],
+        }));
+    }
+
+    /// Resident entries in `set`.
+    #[inline]
+    pub fn occupancy_of(&self, set: usize) -> usize {
+        usize::from(self.occupancy[set])
+    }
+
+    /// Total resident entries.
+    pub fn occupancy(&self) -> usize {
+        self.occupancy.iter().map(|&o| usize::from(o)).sum()
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Empties every set.
+    pub fn clear(&mut self) {
+        self.occupancy.fill(0);
+    }
+
+    /// Per-set resident contents in way order — the shape the differential
+    /// tests compare against the legacy per-entry storage.
+    pub fn snapshot(&self) -> Vec<Vec<BtbEntry>> {
+        (0..self.sets)
+            .map(|s| {
+                (0..self.occupancy_of(s))
+                    .map(|w| self.entry(s, w))
+                    .collect()
+            })
+            .collect()
+    }
+}
 
 /// Bit-level layout of one BTB entry.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]

@@ -52,11 +52,13 @@ pub mod analysis;
 pub mod hints;
 pub mod pipeline;
 pub mod policy;
+pub mod policy_kind;
 pub mod profile;
 pub mod temperature;
 
 pub use hints::HintTable;
 pub use pipeline::{Pipeline, PipelineConfig};
 pub use policy::{HolisticOnly, ThermometerNoBypass, ThermometerPolicy};
+pub use policy_kind::PolicyKind;
 pub use profile::{BranchCounters, OptProfile};
 pub use temperature::{Temperature, TemperatureConfig};

@@ -5,16 +5,14 @@
 //! temperature configuration and can run any of the paper's policies over
 //! any trace with consistent settings.
 
-use btb_model::policies::{
-    BeladyOpt, Drrip, Fifo, Ghrp, GhrpConfig, Hawkeye, HawkeyeConfig, Lru, PseudoLru, Random, Ship,
-    Srrip,
-};
+use btb_model::policies::{BeladyOpt, Ghrp, GhrpConfig, Hawkeye, HawkeyeConfig, Lru, Srrip};
 use btb_model::{BtbConfig, ReplacementPolicy};
 use btb_trace::{NextUseOracle, Trace};
 use uarch_sim::{Frontend, FrontendConfig, PerfectOptions, SimReport};
 
 use crate::hints::HintTable;
 use crate::policy::ThermometerPolicy;
+use crate::policy_kind::PolicyKind;
 use crate::profile::OptProfile;
 use crate::temperature::TemperatureConfig;
 
@@ -171,36 +169,39 @@ impl Pipeline {
     /// vocabulary). `"thermometer"` uses `hints` when given and otherwise
     /// profiles the simulated trace itself; every other policy ignores
     /// `hints`. Returns `None` for an unknown name.
+    ///
+    /// Dispatch goes through [`PolicyKind`], so the whole vocabulary shares
+    /// one `Frontend<Btb<PolicyKind>>` instantiation (enum dispatch on the
+    /// per-access path) instead of monomorphizing the simulation loop once
+    /// per policy type.
     pub fn run_named(
         &self,
         trace: &Trace,
         name: &str,
         hints: Option<&HintTable>,
     ) -> Option<SimReport> {
-        Some(match name {
-            "lru" => self.run_lru(trace),
-            "fifo" => self.run_policy(trace, Fifo::new()),
-            "plru" => self.run_policy(trace, PseudoLru::new()),
-            "random" => self.run_policy(trace, Random::with_seed(0x5eed)),
-            "srrip" => self.run_srrip(trace),
-            "drrip" => self.run_policy(trace, Drrip::new()),
-            "ship" => self.run_policy(trace, Ship::new()),
-            "ghrp" => self.run_ghrp(trace),
-            "hawkeye" => self.run_hawkeye(trace),
-            "opt" => self.run_opt(trace),
-            "thermometer" => {
-                let own_hints;
-                let hints = match hints {
-                    Some(h) => h,
-                    None => {
-                        own_hints = self.profile_to_hints(trace);
-                        &own_hints
-                    }
-                };
-                self.run_thermometer(trace, hints)
-            }
-            _ => return None,
-        })
+        let policy = PolicyKind::by_name(name)?;
+        let label = policy.name();
+        let mut fe = Frontend::new(self.config.frontend, policy);
+        if fe.btb().policy().is_thermometer() {
+            let own_hints;
+            let hints = match hints {
+                Some(h) => h,
+                None => {
+                    own_hints = self.profile_to_hints(trace);
+                    &own_hints
+                }
+            };
+            fe.set_hints(hints.to_map());
+        }
+        let oracle = fe
+            .btb()
+            .policy()
+            .needs_oracle()
+            .then(|| NextUseOracle::build(trace));
+        let mut report = fe.run(trace, oracle.as_ref());
+        report.label = label.into();
+        Some(report)
     }
 
     /// A limit-study run (Fig. 2): LRU replacement with perfect structures.

@@ -85,35 +85,29 @@ impl ReplacementPolicy for ThermometerPolicy {
     fn choose_victim(&mut self, set: usize, resident: &[BtbEntry], ctx: &AccessContext) -> Victim {
         self.coverage.decisions += 1;
         // Algorithm 1 line 3: coldest temperature among residents and x0.
-        let coldest = resident
-            .iter()
-            .map(|e| e.hint)
-            .min()
-            .expect("set non-empty")
-            .min(ctx.hint);
-        let hottest = resident
-            .iter()
-            .map(|e| e.hint)
-            .max()
-            .expect("set non-empty")
-            .max(ctx.hint);
+        let mut coldest = ctx.hint;
+        let mut hottest = ctx.hint;
+        for e in resident {
+            coldest = coldest.min(e.hint);
+            hottest = hottest.max(e.hint);
+        }
         if hottest > coldest {
             self.coverage.covered += 1;
         }
 
-        // Line 4: S = candidates at the coldest temperature.
-        let resident_coldest: Vec<usize> = (0..resident.len())
-            .filter(|&w| resident[w].hint == coldest)
-            .collect();
-
-        // Lines 5-6: bypass when the incoming branch is uniquely coldest.
-        if resident_coldest.is_empty() {
-            self.coverage.bypasses += 1;
-            return Victim::Bypass;
+        // Lines 4-7 in one allocation-free scan: the LRU resident among
+        // S = {candidates at the coldest temperature}; no resident in S
+        // means the incoming branch is uniquely coldest — bypass.
+        match self
+            .lru
+            .lru_way_filtered(set, resident.len(), |w| resident[w].hint == coldest)
+        {
+            Some(way) => Victim::Evict(way),
+            None => {
+                self.coverage.bypasses += 1;
+                Victim::Bypass
+            }
         }
-
-        // Line 7: LRU among the coldest residents (transient tie-break).
-        Victim::Evict(self.lru.lru_way_among(set, &resident_coldest))
     }
 
     fn on_replace(&mut self, set: usize, way: usize, evicted: &BtbEntry, ctx: &AccessContext) {
@@ -162,10 +156,11 @@ impl ReplacementPolicy for ThermometerNoBypass {
             .map(|e| e.hint)
             .min()
             .expect("set non-empty");
-        let candidates: Vec<usize> = (0..resident.len())
-            .filter(|&w| resident[w].hint == coldest)
-            .collect();
-        Victim::Evict(self.lru.lru_way_among(set, &candidates))
+        let way = self
+            .lru
+            .lru_way_filtered(set, resident.len(), |w| resident[w].hint == coldest)
+            .expect("a coldest resident always exists");
+        Victim::Evict(way)
     }
 
     fn on_replace(&mut self, set: usize, way: usize, evicted: &BtbEntry, ctx: &AccessContext) {

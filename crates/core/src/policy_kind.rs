@@ -1,0 +1,182 @@
+//! Enum dispatch over the CLI policy vocabulary.
+//!
+//! [`Pipeline::run_named`](crate::pipeline::Pipeline::run_named) used to
+//! monomorphize one `Frontend<Btb<P>>` per policy type, which kept every
+//! per-access policy callback a direct call but compiled eleven copies of
+//! the whole simulation loop. [`PolicyKind`] collapses that to a single
+//! instantiation: one enum whose variants hold the concrete policies, with
+//! each [`ReplacementPolicy`] method a `match` that the optimizer turns
+//! into a jump table. Unlike `Box<dyn ReplacementPolicy>`, the policy state
+//! lives inline (no pointer chase on the hot path) and the per-variant
+//! bodies stay inlinable. The trait-object path is still available for
+//! heterogeneous collections; this type is for the named hot path.
+
+use btb_model::policies::{
+    BeladyOpt, Drrip, Fifo, Ghrp, GhrpConfig, Hawkeye, HawkeyeConfig, Lru, PseudoLru, Random, Ship,
+    Srrip,
+};
+use btb_model::{AccessContext, BtbEntry, Geometry, ReplacementPolicy, Victim};
+
+use crate::policy::ThermometerPolicy;
+
+/// Every policy reachable through [`POLICY_NAMES`](crate::pipeline::POLICY_NAMES),
+/// as one inline-stored enum.
+#[derive(Clone, Debug)]
+pub enum PolicyKind {
+    /// Classic least-recently-used (the baseline).
+    Lru(Lru),
+    /// Insertion-order eviction.
+    Fifo(Fifo),
+    /// Tree pseudo-LRU.
+    Plru(PseudoLru),
+    /// Uniform-random victim (seeded).
+    Random(Random),
+    /// Static RRIP.
+    Srrip(Srrip),
+    /// Dynamic RRIP with set dueling.
+    Drrip(Drrip),
+    /// Signature-based hit prediction.
+    Ship(Ship),
+    /// Global-history reference prediction.
+    Ghrp(Ghrp),
+    /// OPT-trained friendliness prediction.
+    Hawkeye(Hawkeye),
+    /// Belady's offline optimum (needs the next-use oracle).
+    Opt(BeladyOpt),
+    /// The paper's profile-guided policy (needs hints to help).
+    Thermometer(ThermometerPolicy),
+}
+
+/// Dispatches `$self` to the variant's policy value.
+macro_rules! each_kind {
+    ($self:expr, $p:ident => $body:expr) => {
+        match $self {
+            PolicyKind::Lru($p) => $body,
+            PolicyKind::Fifo($p) => $body,
+            PolicyKind::Plru($p) => $body,
+            PolicyKind::Random($p) => $body,
+            PolicyKind::Srrip($p) => $body,
+            PolicyKind::Drrip($p) => $body,
+            PolicyKind::Ship($p) => $body,
+            PolicyKind::Ghrp($p) => $body,
+            PolicyKind::Hawkeye($p) => $body,
+            PolicyKind::Opt($p) => $body,
+            PolicyKind::Thermometer($p) => $body,
+        }
+    };
+}
+
+impl PolicyKind {
+    /// Builds the policy for one of the canonical CLI names (the
+    /// [`POLICY_NAMES`](crate::pipeline::POLICY_NAMES) vocabulary), with
+    /// the same constructor arguments `run_named` has always used.
+    /// Returns `None` for an unknown name.
+    pub fn by_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "lru" => Self::Lru(Lru::new()),
+            "fifo" => Self::Fifo(Fifo::new()),
+            "plru" => Self::Plru(PseudoLru::new()),
+            "random" => Self::Random(Random::with_seed(0x5eed)),
+            "srrip" => Self::Srrip(Srrip::new()),
+            "drrip" => Self::Drrip(Drrip::new()),
+            "ship" => Self::Ship(Ship::new()),
+            "ghrp" => Self::Ghrp(Ghrp::new(GhrpConfig::default())),
+            "hawkeye" => Self::Hawkeye(Hawkeye::new(HawkeyeConfig::default())),
+            "opt" => Self::Opt(BeladyOpt::new()),
+            "thermometer" => Self::Thermometer(ThermometerPolicy::new()),
+            _ => return None,
+        })
+    }
+
+    /// Whether this policy only makes sense with the next-use oracle.
+    pub fn needs_oracle(&self) -> bool {
+        matches!(self, Self::Opt(_))
+    }
+
+    /// Whether this is the hint-consuming Thermometer policy.
+    pub fn is_thermometer(&self) -> bool {
+        matches!(self, Self::Thermometer(_))
+    }
+
+    /// The coverage counters when this is Thermometer.
+    pub fn coverage(&self) -> Option<crate::policy::CoverageCounters> {
+        match self {
+            Self::Thermometer(p) => Some(p.coverage()),
+            _ => None,
+        }
+    }
+}
+
+impl ReplacementPolicy for PolicyKind {
+    fn name(&self) -> &'static str {
+        each_kind!(self, p => p.name())
+    }
+
+    fn reset(&mut self, geometry: &Geometry) {
+        each_kind!(self, p => p.reset(geometry));
+    }
+
+    fn on_hit(&mut self, set: usize, way: usize, ctx: &AccessContext) {
+        each_kind!(self, p => p.on_hit(set, way, ctx));
+    }
+
+    fn on_fill(&mut self, set: usize, way: usize, ctx: &AccessContext) {
+        each_kind!(self, p => p.on_fill(set, way, ctx));
+    }
+
+    fn choose_victim(&mut self, set: usize, resident: &[BtbEntry], ctx: &AccessContext) -> Victim {
+        each_kind!(self, p => p.choose_victim(set, resident, ctx))
+    }
+
+    fn on_replace(&mut self, set: usize, way: usize, evicted: &BtbEntry, ctx: &AccessContext) {
+        each_kind!(self, p => p.on_replace(set, way, evicted, ctx));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::POLICY_NAMES;
+
+    #[test]
+    fn covers_the_cli_vocabulary_with_matching_labels() {
+        let labels = [
+            ("lru", "LRU"),
+            ("fifo", "FIFO"),
+            ("plru", "PLRU"),
+            ("random", "Random"),
+            ("srrip", "SRRIP"),
+            ("drrip", "DRRIP"),
+            ("ship", "SHiP"),
+            ("ghrp", "GHRP"),
+            ("hawkeye", "Hawkeye"),
+            ("opt", "OPT"),
+            ("thermometer", "Thermometer"),
+        ];
+        assert_eq!(labels.len(), POLICY_NAMES.len());
+        for (name, label) in labels {
+            let kind = PolicyKind::by_name(name).expect("known name");
+            assert_eq!(kind.name(), label);
+        }
+        assert!(PolicyKind::by_name("nosuch").is_none());
+    }
+
+    #[test]
+    fn enum_dispatch_matches_direct_policy() {
+        use btb_model::{Btb, BtbConfig};
+        use btb_trace::BranchKind;
+
+        let mut direct = Btb::new(BtbConfig::new(16, 4), Lru::new());
+        let mut wrapped = Btb::new(
+            BtbConfig::new(16, 4),
+            PolicyKind::by_name("lru").expect("lru is known"),
+        );
+        for i in 0..500u64 {
+            let pc = (i * 13) % 97;
+            let a = direct.access_taken(pc, pc + 1, BranchKind::UncondDirect, u64::MAX);
+            let b = wrapped.access_taken(pc, pc + 1, BranchKind::UncondDirect, u64::MAX);
+            assert_eq!(a, b, "diverged at access {i}");
+        }
+        assert_eq!(direct.stats(), wrapped.stats());
+    }
+}

@@ -52,10 +52,12 @@ pub mod forall;
 pub mod fsio;
 pub mod golden;
 pub mod pool;
+pub mod prefetch;
 pub mod rng;
 
 pub use bench::{BenchHarness, BenchResult};
 pub use detmap::{DetHashMap, DetHashSet, DetState};
 pub use fault::{Corruption, FaultClass, FaultPlan, Isolated, SimError};
 pub use pool::{PoolStats, ThreadPool};
+pub use prefetch::prefetch_read;
 pub use rng::{SimRng, SplitMix64};

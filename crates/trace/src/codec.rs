@@ -215,6 +215,212 @@ pub fn read_binary<R: Read>(r: &mut R) -> Result<Trace, CodecError> {
     Ok(trace)
 }
 
+/// Records decoded per [`BatchReader::next_batch`] call.
+pub const BATCH_RECORDS: usize = 1024;
+
+/// Bytes the batch reader pulls from the source per refill.
+const REFILL_BYTES: usize = 64 * 1024;
+
+/// Streaming batch decoder for the binary trace format.
+///
+/// [`read_binary`] issues one (or more) `Read::read_exact` calls per field —
+/// fine as a readable reference, but each call is a virtual dispatch plus a
+/// bounds-checked copy, and it dominates decode time on multi-million-record
+/// traces. `BatchReader` instead slurps the source through a 64 KiB refill
+/// buffer and decodes ~[`BATCH_RECORDS`]-record blocks straight out of that
+/// buffer into a caller-owned, reusable `Vec<BranchRecord>`.
+///
+/// The decoded stream and every error case are bit-for-bit identical to
+/// [`read_binary`] (the property tests in `tests/trace_roundtrip.rs` pin
+/// this). The one observable difference: the reader buffers ahead, so the
+/// underlying source may be positioned past the end of the trace — use it
+/// for whole-stream decoding, not for parsing a trace embedded mid-stream.
+pub struct BatchReader<R> {
+    src: R,
+    buf: Vec<u8>,
+    pos: usize,
+    len: usize,
+    eof: bool,
+    name: String,
+    remaining: u64,
+    prev_pc: u64,
+}
+
+impl<R: Read> BatchReader<R> {
+    /// Opens the stream and decodes the header (magic, version, name,
+    /// record count).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] when the header is malformed, truncated, or
+    /// in an unsupported version.
+    pub fn new(src: R) -> Result<Self, CodecError> {
+        let mut reader = Self {
+            src,
+            buf: vec![0u8; REFILL_BYTES],
+            pos: 0,
+            len: 0,
+            eof: false,
+            name: String::new(),
+            remaining: 0,
+            prev_pc: 0,
+        };
+        let mut magic = [0u8; 4];
+        reader.read_exact_into(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let version = reader.read_varint()?;
+        if version != VERSION {
+            return Err(CodecError::UnsupportedVersion(version));
+        }
+        let name_len = reader.read_varint()?;
+        if name_len > MAX_NAME_LEN {
+            return Err(CodecError::NameTooLong(name_len));
+        }
+        let mut name = vec![0u8; name_len as usize];
+        reader.read_exact_into(&mut name)?;
+        reader.name = String::from_utf8(name).map_err(|_| CodecError::BadName)?;
+        reader.remaining = reader.read_varint()?;
+        Ok(reader)
+    }
+
+    /// The trace name from the header.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Records the header promises that have not been decoded yet.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Decodes the next block of up to [`BATCH_RECORDS`] records into
+    /// `out`, clearing it first (capacity is reused across calls). Returns
+    /// the number of records decoded; `0` means the trace is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] when the stream is malformed or truncated;
+    /// the reader should not be used further after an error.
+    pub fn next_batch(&mut self, out: &mut Vec<BranchRecord>) -> Result<usize, CodecError> {
+        out.clear();
+        let take = self.remaining.min(BATCH_RECORDS as u64) as usize;
+        for _ in 0..take {
+            let flags = self.read_byte()?;
+            let kind =
+                BranchKind::from_code(flags & 0x7).ok_or(CodecError::BadKind(flags & 0x7))?;
+            let taken = flags & 0x8 != 0;
+            let pc = self
+                .prev_pc
+                .wrapping_add(unzigzag(self.read_varint()?) as u64);
+            let target = pc.wrapping_add(unzigzag(self.read_varint()?) as u64);
+            let inst_gap =
+                u32::try_from(self.read_varint()?).map_err(|_| CodecError::Overflow("inst_gap"))?;
+            out.push(BranchRecord {
+                pc,
+                target,
+                kind,
+                taken,
+                inst_gap,
+            });
+            self.prev_pc = pc;
+        }
+        self.remaining -= take as u64;
+        Ok(take)
+    }
+
+    /// Refills the buffer from the source; `pos == len` afterwards only at
+    /// source EOF.
+    fn refill(&mut self) -> Result<(), CodecError> {
+        debug_assert_eq!(self.pos, self.len, "refill with bytes still buffered");
+        self.pos = 0;
+        self.len = 0;
+        while !self.eof {
+            match self.src.read(&mut self.buf) {
+                Ok(0) => self.eof = true,
+                Ok(n) => {
+                    self.len = n;
+                    break;
+                }
+                // Retry on Interrupted, exactly as `read_exact` does.
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e.into()),
+            }
+        }
+        Ok(())
+    }
+
+    #[inline]
+    fn read_byte(&mut self) -> Result<u8, CodecError> {
+        if self.pos == self.len {
+            self.refill()?;
+            if self.len == 0 {
+                return Err(CodecError::Truncated);
+            }
+        }
+        let b = self.buf[self.pos];
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn read_exact_into(&mut self, dst: &mut [u8]) -> Result<(), CodecError> {
+        let mut written = 0;
+        while written < dst.len() {
+            if self.pos == self.len {
+                self.refill()?;
+                if self.len == 0 {
+                    return Err(CodecError::Truncated);
+                }
+            }
+            let n = (dst.len() - written).min(self.len - self.pos);
+            dst[written..written + n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+            self.pos += n;
+            written += n;
+        }
+        Ok(())
+    }
+
+    /// Same value and error semantics as the free `read_varint` (byte is
+    /// consumed before the 10-byte overlong check fires).
+    fn read_varint(&mut self) -> Result<u64, CodecError> {
+        let mut v = 0u64;
+        let mut shift = 0u32;
+        loop {
+            let b = self.read_byte()?;
+            if shift >= 64 {
+                return Err(CodecError::Truncated);
+            }
+            v |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+            shift += 7;
+        }
+    }
+}
+
+/// Reads a trace previously written with [`write_binary`], decoding through
+/// [`BatchReader`] blocks instead of per-field reader calls. Produces the
+/// same `Trace` (and the same errors) as [`read_binary`], several times
+/// faster on large inputs.
+///
+/// # Errors
+///
+/// Returns a [`CodecError`] when the input is malformed, truncated, or in an
+/// unsupported version.
+pub fn read_binary_batched<R: Read>(r: &mut R) -> Result<Trace, CodecError> {
+    let mut reader = BatchReader::new(r)?;
+    let mut trace = Trace::new(reader.name().to_owned());
+    let mut batch = Vec::with_capacity(BATCH_RECORDS);
+    while reader.next_batch(&mut batch)? > 0 {
+        for &r in &batch {
+            trace.push(r);
+        }
+    }
+    Ok(trace)
+}
+
 /// Writes `trace` as one human-readable line per record:
 /// `pc target kind T|N gap`.
 ///

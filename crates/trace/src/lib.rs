@@ -32,7 +32,7 @@ pub mod next_use;
 pub mod record;
 pub mod stats;
 
-pub use codec::{read_binary, write_binary, CodecError};
+pub use codec::{read_binary, read_binary_batched, write_binary, BatchReader, CodecError};
 pub use next_use::NextUseOracle;
 pub use record::{BranchKind, BranchRecord};
 pub use stats::{BranchSummary, TraceStats};

@@ -22,14 +22,21 @@ pub enum HitLevel {
     Memory,
 }
 
-/// A single set-associative, LRU-managed cache level.
+/// A single set-associative, LRU-managed cache level, `W`-way.
+///
+/// The associativity is a compile-time constant: each set is one `[u64; W]`
+/// row, so the hit scan has a fixed trip count (vectorizable, no bounds
+/// checks) and a row lookup is a single index.
 #[derive(Clone, Debug)]
-pub struct CacheLevel {
+pub struct CacheLevel<const W: usize> {
     sets: usize,
-    ways: usize,
-    /// tags[set * ways + way], `u64::MAX` = invalid.
-    tags: Vec<u64>,
-    stamps: Vec<u64>,
+    /// `sets - 1` when `sets` is a power of two (every Table 1 level is),
+    /// letting [`CacheLevel::set_of`] mask instead of divide on the
+    /// per-block hot path; `0` otherwise, falling back to `%`.
+    set_mask: u64,
+    /// tags[set][way], `u64::MAX` = invalid.
+    tags: Vec<[u64; W]>,
+    stamps: Vec<[u64; W]>,
     clock: u64,
     /// Demand + prefetch lookups.
     pub accesses: u64,
@@ -37,60 +44,92 @@ pub struct CacheLevel {
     pub misses: u64,
 }
 
-impl CacheLevel {
-    /// Creates a level of `size_bytes` capacity and `ways` associativity.
+impl<const W: usize> CacheLevel<W> {
+    /// Creates a level of `size_bytes` capacity.
     ///
     /// # Panics
     ///
-    /// Panics if the geometry does not divide into whole sets.
-    pub fn new(size_bytes: usize, ways: usize) -> Self {
+    /// Panics if the geometry does not divide into whole `W`-way sets.
+    pub fn new(size_bytes: usize) -> Self {
         let blocks = size_bytes / BLOCK_BYTES as usize;
         assert!(
-            ways > 0 && blocks.is_multiple_of(ways),
-            "invalid cache geometry: {size_bytes}B / {ways} ways"
+            W > 0 && blocks.is_multiple_of(W),
+            "invalid cache geometry: {size_bytes}B / {W} ways"
         );
-        let sets = blocks / ways;
+        let sets = blocks / W;
         Self {
             sets,
-            ways,
-            tags: vec![u64::MAX; blocks],
-            stamps: vec![0; blocks],
+            set_mask: if sets.is_power_of_two() {
+                sets as u64 - 1
+            } else {
+                0
+            },
+            tags: vec![[u64::MAX; W]; sets],
+            stamps: vec![[0; W]; sets],
             clock: 0,
             accesses: 0,
             misses: 0,
         }
     }
 
+    #[inline]
     fn set_of(&self, block: u64) -> usize {
-        (block % self.sets as u64) as usize
+        if self.set_mask != 0 {
+            (block & self.set_mask) as usize
+        } else {
+            (block % self.sets as u64) as usize
+        }
     }
 
     /// Looks up `block`; on miss, installs it (evicting LRU). Returns
     /// whether it hit.
+    ///
+    /// Both scans are branchless (no early exit) so they vectorize: tags in
+    /// a set are unique, so the exitless hit scan finds the same way, and
+    /// the LRU scan keeps the first minimum exactly like
+    /// `Iterator::min_by_key` did.
     pub fn access(&mut self, block: u64) -> bool {
         self.accesses += 1;
         self.clock += 1;
         let set = self.set_of(block);
-        let base = set * self.ways;
-        let row = &mut self.tags[base..base + self.ways];
-        if let Some(w) = row.iter().position(|&t| t == block) {
-            self.stamps[base + w] = self.clock;
+        // Exitless fixed-width scan: tags in a set are unique, so keeping
+        // the last match equals the first.
+        let row = &self.tags[set];
+        let mut hit_way = usize::MAX;
+        for (w, &t) in row.iter().enumerate() {
+            hit_way = if t == block { w } else { hit_way };
+        }
+        if hit_way != usize::MAX {
+            self.stamps[set][hit_way] = self.clock;
             return true;
         }
         self.misses += 1;
-        let victim = (0..self.ways)
-            .min_by_key(|&w| self.stamps[base + w])
-            .expect("cache set non-empty");
-        self.tags[base + victim] = block;
-        self.stamps[base + victim] = self.clock;
+        // Branchless first-minimum, matching `Iterator::min_by_key`.
+        let stamps = &self.stamps[set];
+        let mut victim = 0usize;
+        let mut oldest = stamps[0];
+        for (w, &s) in stamps.iter().enumerate().skip(1) {
+            let take = s < oldest;
+            victim = if take { w } else { victim };
+            oldest = if take { s } else { oldest };
+        }
+        self.tags[set][victim] = block;
+        self.stamps[set][victim] = self.clock;
         false
+    }
+
+    /// Hints that `block`'s set will be accessed soon; no architectural
+    /// effect.
+    #[inline]
+    pub fn warm(&self, block: u64) {
+        let set = self.set_of(block);
+        sim_support::prefetch_read(&raw const self.tags[set]);
+        sim_support::prefetch_read(&raw const self.stamps[set]);
     }
 
     /// Whether `block` is resident, without updating LRU or counters.
     pub fn contains(&self, block: u64) -> bool {
-        let set = self.set_of(block);
-        let base = set * self.ways;
-        self.tags[base..base + self.ways].contains(&block)
+        self.tags[self.set_of(block)].contains(&block)
     }
 }
 
@@ -98,11 +137,11 @@ impl CacheLevel {
 #[derive(Clone, Debug)]
 pub struct InstrHierarchy {
     /// L1 instruction cache.
-    pub l1i: CacheLevel,
+    pub l1i: CacheLevel<8>,
     /// Unified L2 (instruction path only in this model).
-    pub l2: CacheLevel,
+    pub l2: CacheLevel<8>,
     /// Last-level cache.
-    pub llc: CacheLevel,
+    pub llc: CacheLevel<16>,
 }
 
 impl InstrHierarchy {
@@ -110,16 +149,21 @@ impl InstrHierarchy {
     /// is irrelevant to the instruction path.)
     pub fn table1() -> Self {
         Self {
-            l1i: CacheLevel::new(32 * 1024, 8),
-            l2: CacheLevel::new(512 * 1024, 8),
-            llc: CacheLevel::new(2 * 1024 * 1024, 16),
+            l1i: CacheLevel::new(32 * 1024),
+            l2: CacheLevel::new(512 * 1024),
+            llc: CacheLevel::new(2 * 1024 * 1024),
         }
     }
 
     /// Fetches the block containing `addr`, returning where it hit and
     /// installing it in every level above.
     pub fn fetch(&mut self, addr: u64) -> HitLevel {
-        let block = addr / BLOCK_BYTES;
+        self.fetch_block(addr / BLOCK_BYTES)
+    }
+
+    /// [`InstrHierarchy::fetch`] keyed directly by block number, for
+    /// callers already walking block ranges.
+    pub fn fetch_block(&mut self, block: u64) -> HitLevel {
         if self.l1i.access(block) {
             HitLevel::L1
         } else if self.l2.access(block) {
@@ -129,6 +173,14 @@ impl InstrHierarchy {
         } else {
             HitLevel::Memory
         }
+    }
+
+    /// Hints that the block containing `addr` will be fetched soon. Only
+    /// the L1I row is warmed: it is probed on every fetch, while the outer
+    /// levels are only touched on (much rarer) misses.
+    #[inline]
+    pub fn warm(&self, addr: u64) {
+        self.l1i.warm(addr / BLOCK_BYTES);
     }
 
     /// Instruction misses at the L2 level per kilo-instruction — the
@@ -203,6 +255,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "invalid cache geometry")]
     fn bad_geometry_rejected() {
-        let _ = CacheLevel::new(100, 3);
+        let _ = CacheLevel::<3>::new(100);
     }
 }

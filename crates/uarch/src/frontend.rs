@@ -148,10 +148,19 @@ impl<B: BtbInterface> Frontend<B> {
         let mut lead = 0.0f64; // run-ahead shield, cycles
         let mut access_index: u64 = 0; // position in the taken stream
 
+        // Division by a power of two is exact, and so is multiplying by its
+        // (exactly representable) reciprocal — bit-identical results without
+        // a per-record divide. Non-power-of-two widths keep the division.
+        let fetch_width = f64::from(t.fetch_width);
+        let inv_fetch_width = (t.fetch_width.is_power_of_two()).then(|| 1.0 / fetch_width);
+
         for r in trace.records() {
             let insts = u64::from(r.inst_gap) + 1;
             report.instructions += insts;
-            let base = insts as f64 / f64::from(t.fetch_width);
+            let base = match inv_fetch_width {
+                Some(inv) => insts as f64 * inv,
+                None => insts as f64 / fetch_width,
+            };
             cycles += base;
             // The BPU produces one record per bpu_cycles_per_branch while
             // fetch consumes it in `base` cycles: lead grows on big blocks,
@@ -163,8 +172,10 @@ impl<B: BtbInterface> Frontend<B> {
                 let start = r.pc.saturating_sub(u64::from(r.inst_gap) * 4);
                 let first_block = start / BLOCK_BYTES;
                 let last_block = r.pc / BLOCK_BYTES;
-                for block in first_block..=last_block {
-                    let level = self.icache.fetch(block * BLOCK_BYTES);
+                let mut block = first_block;
+                while block <= last_block {
+                    let level = self.icache.fetch_block(block);
+                    block += 1;
                     let latency = match level {
                         HitLevel::L1 => 0,
                         HitLevel::L2 => t.l2_latency,
@@ -337,7 +348,7 @@ impl<B: BtbInterface> BtbInterface for HintedBtb<'_, B> {
         self.btb.access(ctx)
     }
 
-    fn probe(&self, pc: u64) -> Option<&BtbEntry> {
+    fn probe(&self, pc: u64) -> Option<BtbEntry> {
         self.btb.probe(pc)
     }
 

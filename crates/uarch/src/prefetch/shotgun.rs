@@ -120,7 +120,7 @@ impl<P: ReplacementPolicy> BtbInterface for ShotgunBtb<P> {
         outcome
     }
 
-    fn probe(&self, pc: u64) -> Option<&BtbEntry> {
+    fn probe(&self, pc: u64) -> Option<BtbEntry> {
         self.ubtb.probe(pc).or_else(|| self.cbtb.probe(pc))
     }
 

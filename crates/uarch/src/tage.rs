@@ -45,16 +45,21 @@ struct TaggedEntry {
 /// The predictor.
 #[derive(Clone, Debug)]
 pub struct Tage {
-    bimodal: Vec<u8>,
-    tagged: Vec<Vec<TaggedEntry>>,
+    /// Boxed fixed-size arrays throughout: every index is a masked hash, so
+    /// with the length in the type the compiler proves each access in
+    /// bounds and the hot path carries no bounds checks.
+    bimodal: Box<[u8; 1 << BIMODAL_BITS]>,
+    /// All tagged tables in one flat array; table `t` occupies
+    /// `t << TAGGED_BITS ..`. One allocation, no per-table pointer chase.
+    tagged: Box<[TaggedEntry; HISTORY_LENGTHS.len() << TAGGED_BITS]>,
     /// Global direction history (1 bit per branch), youngest in bit 0.
     history: u128,
     /// Deterministic allocation tie-break state.
     alloc_seed: u64,
     /// Per-branch local direction histories.
-    local_hist: Vec<u16>,
+    local_hist: Box<[u16; 1 << LOCAL_HIST_ENTRIES_BITS]>,
     /// Local prediction counters indexed by (pc, local history).
-    local_table: Vec<u8>,
+    local_table: Box<[u8; 1 << LOCAL_TABLE_BITS]>,
 }
 
 /// What a prediction was based on, fed back into [`Tage::update`].
@@ -68,6 +73,12 @@ pub struct Prediction {
     index: usize,
     /// The TAGE component's direction (before local override).
     tage_taken: bool,
+    /// Local component state captured at predict time, so update need not
+    /// recompute the two hash indices (the contract already requires update
+    /// to follow predict on the same branch under the same history).
+    local_hist_idx: usize,
+    local_table_idx: usize,
+    local_hist: u16,
 }
 
 impl Default for Tage {
@@ -80,15 +91,18 @@ impl Tage {
     /// Creates a predictor with all counters weakly not-taken.
     pub fn new() -> Self {
         Self {
-            bimodal: vec![1; 1 << BIMODAL_BITS],
-            tagged: HISTORY_LENGTHS
-                .iter()
-                .map(|_| vec![TaggedEntry::default(); 1 << TAGGED_BITS])
-                .collect(),
+            bimodal: vec![1; 1 << BIMODAL_BITS].try_into().expect("bimodal size"),
+            tagged: vec![TaggedEntry::default(); HISTORY_LENGTHS.len() << TAGGED_BITS]
+                .try_into()
+                .expect("tagged size"),
             history: 0,
             alloc_seed: 0x1234_5678_9abc_def0,
-            local_hist: vec![0; 1 << LOCAL_HIST_ENTRIES_BITS],
-            local_table: vec![4; 1 << LOCAL_TABLE_BITS],
+            local_hist: vec![0; 1 << LOCAL_HIST_ENTRIES_BITS]
+                .try_into()
+                .expect("local history size"),
+            local_table: vec![4; 1 << LOCAL_TABLE_BITS]
+                .try_into()
+                .expect("local table size"),
         }
     }
 
@@ -111,8 +125,11 @@ impl Tage {
         (h & ((1 << LOCAL_TABLE_BITS) - 1)) as usize
     }
 
+    /// Generic xor-fold of the low `bits` of history into `out_bits` — the
+    /// readable reference the const-specialized [`fold_u64`] is pinned
+    /// against in the tests. Not used on the predict path.
+    #[cfg(test)]
     fn folded_history(&self, bits: u32, out_bits: u32) -> u64 {
-        // Fold `bits` of history into `out_bits` by xor.
         let mut h = self.history & ((1u128 << bits) - 1);
         let mut folded = 0u64;
         while h != 0 {
@@ -122,19 +139,62 @@ impl Tage {
         folded
     }
 
+    /// Folded history for `table`'s index hash. Every history length fits
+    /// in 64 bits, so this dispatches to a `u64` fold whose chunk count is
+    /// a compile-time constant per table (fully unrolled xor terms, no
+    /// `u128` arithmetic, no data-dependent loop).
+    #[inline]
+    fn fold_index(&self, table: usize) -> u64 {
+        let h = self.history as u64;
+        match table {
+            0 => fold_u64::<8, TAGGED_BITS>(h),
+            1 => fold_u64::<16, TAGGED_BITS>(h),
+            2 => fold_u64::<32, TAGGED_BITS>(h),
+            _ => fold_u64::<64, TAGGED_BITS>(h),
+        }
+    }
+
+    /// Folded history for `table`'s tag hash (see [`Tage::fold_index`]).
+    #[inline]
+    fn fold_tag(&self, table: usize) -> u64 {
+        let h = self.history as u64;
+        match table {
+            0 => fold_u64::<8, TAG_BITS>(h),
+            1 => fold_u64::<16, TAG_BITS>(h),
+            2 => fold_u64::<32, TAG_BITS>(h),
+            _ => fold_u64::<64, TAG_BITS>(h),
+        }
+    }
+
     fn tagged_index(&self, pc: u64, table: usize) -> usize {
-        let fh = self.folded_history(HISTORY_LENGTHS[table], TAGGED_BITS);
+        let fh = self.fold_index(table);
         let mix = pc ^ (pc >> TAGGED_BITS) ^ fh ^ ((table as u64) << 3);
         (mix & ((1 << TAGGED_BITS) - 1)) as usize
     }
 
     fn tag_of(&self, pc: u64, table: usize) -> u16 {
-        let fh = self.folded_history(HISTORY_LENGTHS[table], TAG_BITS);
+        let fh = self.fold_tag(table);
         (((pc >> 2) ^ (pc >> (TAG_BITS + 2)) ^ (fh << 1)) & ((1 << TAG_BITS) - 1)) as u16
     }
 
     fn bimodal_index(&self, pc: u64) -> usize {
         ((pc >> 2) & ((1 << BIMODAL_BITS) - 1)) as usize
+    }
+
+    /// Flat-array slot of entry `idx` in tagged table `table`.
+    #[inline]
+    fn slot(table: usize, idx: usize) -> usize {
+        (table << TAGGED_BITS) | idx
+    }
+
+    /// Hints that `pc` will be predicted soon. Warms the tables whose index
+    /// depends only on the PC (bimodal, local history); the tagged-table
+    /// indices also hash the global history, which is unknown that far
+    /// ahead. No architectural effect.
+    #[inline]
+    pub fn warm(&self, pc: u64) {
+        sim_support::prefetch_read(&raw const self.bimodal[self.bimodal_index(pc)]);
+        sim_support::prefetch_read(&raw const self.local_hist[Self::local_hist_index(pc)]);
     }
 
     /// Predicts the direction of the conditional branch at `pc`.
@@ -143,24 +203,53 @@ impl Tage {
         // A *confident* local-pattern prediction overrides TAGE: the local
         // counter is saturated only when (pc, local history) has been a
         // reliable predictor of the outcome.
-        let hist = self.local_hist[Self::local_hist_index(pc)];
-        let local = self.local_table[Self::local_table_index(pc, hist)];
+        let hi = Self::local_hist_index(pc);
+        let hist = self.local_hist[hi];
+        let li = Self::local_table_index(pc, hist);
+        let local = self.local_table[li];
         if local == 0 || local == 7 {
             pred.taken = local >= 4;
         }
+        pred.local_hist_idx = hi;
+        pred.local_table_idx = li;
+        pred.local_hist = hist;
         pred
     }
 
     fn tage_predict(&self, pc: u64) -> Prediction {
+        // All four probes are independent: computing every index and tag up
+        // front lets the four table loads issue together instead of
+        // serializing through an early-exit scan. Provider selection
+        // (longest matching history wins) is unchanged.
+        let idx = [
+            self.tagged_index(pc, 0),
+            self.tagged_index(pc, 1),
+            self.tagged_index(pc, 2),
+            self.tagged_index(pc, 3),
+        ];
+        let tag = [
+            self.tag_of(pc, 0),
+            self.tag_of(pc, 1),
+            self.tag_of(pc, 2),
+            self.tag_of(pc, 3),
+        ];
+        let entry = [
+            self.tagged[Self::slot(0, idx[0])],
+            self.tagged[Self::slot(1, idx[1])],
+            self.tagged[Self::slot(2, idx[2])],
+            self.tagged[Self::slot(3, idx[3])],
+        ];
         for table in (0..HISTORY_LENGTHS.len()).rev() {
-            let idx = self.tagged_index(pc, table);
-            let e = &self.tagged[table][idx];
-            if e.tag == self.tag_of(pc, table) {
+            let e = entry[table];
+            if e.tag == tag[table] {
                 return Prediction {
                     taken: e.ctr >= 4,
                     provider: Some(table),
-                    index: idx,
+                    index: idx[table],
                     tage_taken: e.ctr >= 4,
+                    local_hist_idx: 0,
+                    local_table_idx: 0,
+                    local_hist: 0,
                 };
             }
         }
@@ -170,6 +259,9 @@ impl Tage {
             provider: None,
             index: idx,
             tage_taken: self.bimodal[idx] >= 2,
+            local_hist_idx: 0,
+            local_table_idx: 0,
+            local_hist: 0,
         }
     }
 
@@ -178,18 +270,18 @@ impl Tage {
     /// same branch under the same history.
     pub fn update(&mut self, pc: u64, taken: bool, prediction: Prediction) {
         // Local component: train the counter for the current (pc, local
-        // history) point and shift the local history.
-        let hi = Self::local_hist_index(pc);
-        let hist = self.local_hist[hi];
-        let li = Self::local_table_index(pc, hist);
+        // history) point and shift the local history. The indices were
+        // captured at predict time.
+        let hi = prediction.local_hist_idx;
+        let li = prediction.local_table_idx;
         self.local_table[li] = bump3(self.local_table[li], taken);
-        self.local_hist[hi] =
-            ((hist << 1) | u16::from(taken)) & ((1 << LOCAL_HISTORY_BITS) - 1) as u16;
+        self.local_hist[hi] = ((prediction.local_hist << 1) | u16::from(taken))
+            & ((1 << LOCAL_HISTORY_BITS) - 1) as u16;
 
         let correct = prediction.tage_taken == taken;
         match prediction.provider {
             Some(t) => {
-                let e = &mut self.tagged[t][prediction.index];
+                let e = &mut self.tagged[Self::slot(t, prediction.index)];
                 e.ctr = bump3(e.ctr, taken);
                 e.useful = if correct {
                     (e.useful + 1).min(3)
@@ -214,7 +306,7 @@ impl Tage {
                 for t in start..HISTORY_LENGTHS.len() {
                     let idx = self.tagged_index(pc, t);
                     let tag = self.tag_of(pc, t);
-                    let e = &mut self.tagged[t][idx];
+                    let e = &mut self.tagged[Self::slot(t, idx)];
                     if e.useful == 0 {
                         *e = TaggedEntry {
                             tag,
@@ -229,7 +321,7 @@ impl Tage {
                     // Decay usefulness so future allocations can proceed.
                     for t in start..HISTORY_LENGTHS.len() {
                         let idx = self.tagged_index(pc, t);
-                        let e = &mut self.tagged[t][idx];
+                        let e = &mut self.tagged[Self::slot(t, idx)];
                         e.useful = e.useful.saturating_sub(1);
                     }
                 }
@@ -243,6 +335,24 @@ impl Tage {
     pub fn note_taken_transfer(&mut self, _pc: u64) {
         self.history = (self.history << 1) | 1;
     }
+}
+
+/// Xor-fold of the low `BITS` of `h` into `OUT`-bit chunks. With both
+/// parameters compile-time constants the chunked loop unrolls into a fixed
+/// xor expression per (history length, output width) pair.
+#[inline]
+fn fold_u64<const BITS: u32, const OUT: u32>(mut h: u64) -> u64 {
+    if BITS < 64 {
+        h &= (1u64 << BITS) - 1;
+    }
+    let mask = (1u64 << OUT) - 1;
+    let mut folded = 0u64;
+    let mut shift = 0;
+    while shift < BITS {
+        folded ^= (h >> shift) & mask;
+        shift += OUT;
+    }
+    folded
 }
 
 fn bump2(c: u8, up: bool) -> u8 {
@@ -279,6 +389,32 @@ mod tests {
             total += 1;
         }
         correct as f64 / total as f64
+    }
+
+    #[test]
+    fn const_folds_match_generic_fold() {
+        // The specialized per-table folds must agree with the generic u128
+        // xor-fold for every (history length, output width) pair, over
+        // arbitrary histories (including ones with bits set above bit 63 —
+        // no tagged table looks that far back, so they must not leak in).
+        sim_support::forall!(cases: 128, gen: |rng| {
+            (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+        }, prop: |&history| {
+            let mut tage = Tage::new();
+            tage.history = history;
+            for (table, &bits) in HISTORY_LENGTHS.iter().enumerate() {
+                assert_eq!(
+                    tage.fold_index(table),
+                    tage.folded_history(bits, TAGGED_BITS),
+                    "index fold diverged for table {table} ({bits} bits)"
+                );
+                assert_eq!(
+                    tage.fold_tag(table),
+                    tage.folded_history(bits, TAG_BITS),
+                    "tag fold diverged for table {table} ({bits} bits)"
+                );
+            }
+        });
     }
 
     #[test]

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Bench regression guard: re-runs the guarded bench suites and compares
+# medians against the committed baseline (results/bench_baselines.json).
+# A benchmark whose median regresses by more than 15% fails the script —
+# and CI, which runs this last (see scripts/ci.sh).
+#
+# Bless flow (after an intentional perf change, on the enforcing machine):
+#
+#     scripts/bench_check.sh --bless
+#     git add results/bench_baselines.json   # commit with the change
+#
+# One automatic retry absorbs transient machine noise (shared runners can
+# throttle a single run well past the tolerance); a *real* regression
+# fails twice.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
+
+suites=(btb_policies frontend)
+
+run_suites() {
+    for s in "${suites[@]}"; do
+        cargo bench -p thermometer-bench --bench "$s" >/dev/null
+    done
+}
+
+echo "==> bench suites: ${suites[*]}"
+run_suites
+
+if [[ "${1:-}" == "--bless" ]]; then
+    cargo run --quiet --release -p thermometer-bench --bin bench_check -- --bless
+    exit 0
+fi
+
+if ! cargo run --quiet --release -p thermometer-bench --bin bench_check; then
+    echo "==> regression reported; re-running once to rule out machine noise"
+    run_suites
+    cargo run --quiet --release -p thermometer-bench --bin bench_check
+fi
+echo "bench_check green."

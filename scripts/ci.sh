@@ -63,6 +63,9 @@ env "${smoke_env[@]}" ./target/release/figures fig01 fig09 fig17 \
 cmp "$ft_dir/ref.md" "$ft_dir/resumed.md"
 cmp "$ft_dir/ref.out" "$ft_dir/resumed.out"
 
+echo "==> bench regression guard (>15% median regression vs results/bench_baselines.json fails)"
+./scripts/bench_check.sh
+
 echo "==> quarantine (a poisoned cell is dropped with a reason; siblings complete)"
 env "${smoke_env[@]}" ./target/release/figures fig01 \
     --threads 2 --quarantine --max-retries 1 \
