@@ -8,7 +8,7 @@
 use std::hint::black_box;
 
 use btb_model::policies::{
-    BeladyOpt, Ghrp, GhrpConfig, Hawkeye, HawkeyeConfig, Lru, Random, Srrip,
+    BeladyOpt, Ghrp, GhrpConfig, Hawkeye, HawkeyeConfig, Lru, Random, Srrip, Trrip,
 };
 use btb_model::{AccessContext, Btb, BtbConfig, ReplacementPolicy};
 use btb_trace::{NextUseOracle, Trace};
@@ -70,6 +70,7 @@ fn main() {
     harness.bench("lru", accesses, || drive(&ctxs, Lru::new()));
     harness.bench("random", accesses, || drive(&ctxs, Random::with_seed(7)));
     harness.bench("srrip", accesses, || drive(&ctxs, Srrip::new()));
+    harness.bench("trrip", accesses, || drive(&ctxs, Trrip::new()));
     harness.bench("ghrp", accesses, || {
         drive(&ctxs, Ghrp::new(GhrpConfig::default()))
     });

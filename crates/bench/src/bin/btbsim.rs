@@ -18,7 +18,7 @@ use btb_model::BtbConfig;
 use btb_trace::{read_binary_batched, Trace};
 use sim_support::pool;
 use thermometer::pipeline::{Pipeline, PipelineConfig, POLICY_NAMES};
-use thermometer::{HintTable, TemperatureConfig};
+use thermometer::{HintTable, PolicyKind, TemperatureConfig};
 use uarch_sim::{FrontendConfig, SimReport};
 
 fn main() {
@@ -61,7 +61,13 @@ fn main() {
     }
 
     // Profile once, up front, if any requested policy needs hints.
-    let hints: Option<HintTable> = policies.contains(&"thermometer").then(|| {
+    let wants_hints = policies.iter().any(|p| {
+        PolicyKind::by_name(p)
+            // justified expect: validated against POLICY_NAMES above.
+            .expect("validated above")
+            .wants_hints()
+    });
+    let hints: Option<HintTable> = wants_hints.then(|| {
         let profile_trace = match flag(&args, "--profile") {
             Some(p) => load(&p),
             None => {

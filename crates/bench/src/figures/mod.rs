@@ -9,7 +9,7 @@ mod suites;
 
 pub use characterization::{fig01, fig02, fig03, fig04, fig05, fig06, fig07, fig08, fig09};
 pub use evaluation::{fig11, fig12, fig13, fig14, fig15, fig16};
-pub use extensions::{ablation, extra_policies};
+pub use extensions::{ablation, extra_policies, hierarchy, trrip_grid};
 pub use sensitivity::{fig19_entries, fig19_ways, fig20_categories, fig20_ftq, fig21};
 pub use suites::{fig17, fig18};
 
@@ -19,7 +19,7 @@ use btb_trace::Trace;
 use btb_workloads::{AppSpec, InputConfig};
 
 /// All figure ids in paper order, plus the extension experiments.
-pub const FIGURE_IDS: [&str; 22] = [
+pub const FIGURE_IDS: [&str; 24] = [
     "fig01",
     "fig02",
     "fig03",
@@ -42,6 +42,8 @@ pub const FIGURE_IDS: [&str; 22] = [
     "fig21",
     "extra-policies",
     "ablation",
+    "trrip",
+    "hierarchy",
 ];
 
 /// Runs one figure by id (`"fig19"`/`"fig20"` produce both sub-tables).
@@ -71,6 +73,8 @@ pub fn figure_by_id(id: &str, scale: &Scale) -> Option<Vec<FigureResult>> {
         "fig21" => vec![fig21(scale)],
         "extra-policies" => vec![extra_policies(scale)],
         "ablation" => vec![ablation(scale)],
+        "trrip" => vec![trrip_grid(scale)],
+        "hierarchy" => vec![hierarchy(scale)],
         _ => return None,
     };
     Some(figs)

@@ -43,7 +43,7 @@ pub mod storage;
 
 pub use config::{BtbConfig, Geometry};
 pub use interface::BtbInterface;
-pub use multilevel::TwoLevelBtb;
+pub use multilevel::{ExclusiveTwoLevelBtb, TwoLevelBtb};
 pub use policy::{AccessContext, ReplacementPolicy, Victim};
 pub use stats::BtbStats;
 pub use storage::SoaStorage;
@@ -114,6 +114,9 @@ pub struct Btb<P> {
     policy: P,
     stats: BtbStats,
     access_index: u64,
+    /// The entry displaced by the most recent access/prefetch, if any —
+    /// captured so multilevel hierarchies can migrate victims downward.
+    last_evicted: Option<BtbEntry>,
 }
 
 impl<P: ReplacementPolicy> Btb<P> {
@@ -128,6 +131,7 @@ impl<P: ReplacementPolicy> Btb<P> {
             policy,
             stats: BtbStats::default(),
             access_index: 0,
+            last_evicted: None,
         }
     }
 
@@ -196,6 +200,7 @@ impl<P: ReplacementPolicy> Btb<P> {
         ctx.access_index = self.access_index;
         self.access_index += 1;
         self.stats.accesses += 1;
+        self.last_evicted = None;
 
         let set = self.geometry.set_of(ctx.pc);
         // Hit path: scan the contiguous PC row (resident ways are a prefix).
@@ -242,6 +247,7 @@ impl<P: ReplacementPolicy> Btb<P> {
                 self.storage.write(set, way, incoming);
                 self.stats.evictions += 1;
                 self.policy.on_replace(set, way, &evicted, &ctx);
+                self.last_evicted = Some(evicted);
                 AccessOutcome::MissInserted
             }
         }
@@ -273,6 +279,7 @@ impl<P: ReplacementPolicy> Btb<P> {
             access_index: self.access_index,
         };
         let set = self.geometry.set_of(pc);
+        self.last_evicted = None;
         if self.storage.find(set, pc).is_some() {
             return true; // already resident
         }
@@ -296,9 +303,33 @@ impl<P: ReplacementPolicy> Btb<P> {
                 self.storage.write(set, way, incoming);
                 self.stats.prefetch_evictions += 1;
                 self.policy.on_replace(set, way, &evicted, &ctx);
+                self.last_evicted = Some(evicted);
                 true
             }
         }
+    }
+
+    /// The entry displaced by the most recent [`Btb::access`] or
+    /// [`Btb::prefetch_fill_hinted`], taken at most once per operation.
+    /// Multilevel hierarchies use this to migrate victims to a lower level.
+    pub fn take_evicted(&mut self) -> Option<BtbEntry> {
+        self.last_evicted.take()
+    }
+
+    /// Removes `pc` from the BTB, returning the removed entry if it was
+    /// resident. The storage preserves its resident-prefix invariant by
+    /// moving the last resident way of the set into the vacated slot, and
+    /// the policy is told via [`ReplacementPolicy::on_invalidate`] so
+    /// per-way metadata moves along. Used by multilevel hierarchies:
+    /// exclusive ones pull a lower-level hit up, inclusive ones
+    /// back-invalidate the upper level on a lower-level eviction.
+    pub fn invalidate(&mut self, pc: u64) -> Option<BtbEntry> {
+        let set = self.geometry.set_of(pc);
+        let way = self.storage.find(set, pc)?;
+        let removed = self.storage.entry(set, way);
+        let last = self.storage.swap_remove(set, way);
+        self.policy.on_invalidate(set, way, last);
+        Some(removed)
     }
 
     /// Empties the BTB and resets statistics and policy state.
@@ -306,6 +337,7 @@ impl<P: ReplacementPolicy> Btb<P> {
         self.storage.clear();
         self.stats = BtbStats::default();
         self.access_index = 0;
+        self.last_evicted = None;
         self.policy.reset(&self.geometry);
     }
 
@@ -397,6 +429,40 @@ mod tests {
         assert_eq!(btb.occupancy(), 0);
         assert_eq!(btb.stats().accesses, 0);
         assert!(btb.probe(0x100).is_none());
+    }
+
+    #[test]
+    fn invalidate_removes_and_keeps_prefix_contiguous() {
+        // 8 entries, 2 ways -> 4 sets; 0x100 and 0x140 share a set.
+        let mut btb = tiny();
+        btb.access_taken(0x100, 0x200, BranchKind::CondDirect, u64::MAX);
+        btb.access_taken(0x140, 0x240, BranchKind::CondDirect, u64::MAX);
+        let removed = btb.invalidate(0x100).expect("0x100 is resident");
+        assert_eq!(removed.pc, 0x100);
+        assert_eq!(removed.target, 0x200);
+        assert!(btb.probe(0x100).is_none());
+        assert!(btb.probe(0x140).is_some(), "survivor moved into the hole");
+        assert_eq!(btb.occupancy(), 1);
+        assert!(btb.invalidate(0x100).is_none(), "already gone");
+        // The vacated way refills normally.
+        btb.access_taken(0x180, 0x280, BranchKind::CondDirect, u64::MAX);
+        assert_eq!(btb.stats().evictions, 0, "free way was reused, no evict");
+    }
+
+    #[test]
+    fn take_evicted_captures_the_displaced_entry_once() {
+        let mut btb = tiny();
+        for pc in [0u64, 16] {
+            btb.access_taken(pc, 0x999, BranchKind::UncondDirect, u64::MAX);
+            assert!(btb.take_evicted().is_none(), "fills displace nothing");
+        }
+        btb.access_taken(32, 0x999, BranchKind::UncondDirect, u64::MAX);
+        let evicted = btb.take_evicted().expect("full set evicted an entry");
+        assert_eq!(evicted.pc, 0); // LRU victim
+        assert!(btb.take_evicted().is_none(), "taken at most once");
+        // A hit clears any stale capture.
+        btb.access_taken(32, 0x999, BranchKind::UncondDirect, u64::MAX);
+        assert!(btb.take_evicted().is_none());
     }
 
     #[test]

@@ -138,6 +138,10 @@ impl ReplacementPolicy for Drrip {
         let rrpv = self.insertion_rrpv(set);
         *self.rrpv.get_mut(set, way) = rrpv;
     }
+
+    fn on_invalidate(&mut self, set: usize, way: usize, last: usize) {
+        self.rrpv.swap_remove(set, way, last);
+    }
 }
 
 #[cfg(test)]

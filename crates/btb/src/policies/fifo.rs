@@ -57,6 +57,10 @@ impl ReplacementPolicy for Fifo {
     fn on_replace(&mut self, set: usize, way: usize, _evicted: &BtbEntry, _ctx: &AccessContext) {
         self.stamp(set, way);
     }
+
+    fn on_invalidate(&mut self, set: usize, way: usize, last: usize) {
+        self.filled_at.swap_remove(set, way, last);
+    }
 }
 
 #[cfg(test)]

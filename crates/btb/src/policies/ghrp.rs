@@ -194,6 +194,10 @@ impl ReplacementPolicy for Ghrp {
         self.touch(set, way, sig, false);
         self.push_history(ctx.pc);
     }
+
+    fn on_invalidate(&mut self, set: usize, way: usize, last: usize) {
+        self.meta.swap_remove(set, way, last);
+    }
 }
 
 #[cfg(test)]

@@ -223,6 +223,10 @@ impl ReplacementPolicy for Hawkeye {
     fn on_replace(&mut self, set: usize, way: usize, _evicted: &BtbEntry, ctx: &AccessContext) {
         self.insert(set, way, ctx);
     }
+
+    fn on_invalidate(&mut self, set: usize, way: usize, last: usize) {
+        self.meta.swap_remove(set, way, last);
+    }
 }
 
 #[cfg(test)]

@@ -99,6 +99,10 @@ impl ReplacementPolicy for Lru {
     fn on_replace(&mut self, set: usize, way: usize, _evicted: &BtbEntry, _ctx: &AccessContext) {
         self.touch(set, way);
     }
+
+    fn on_invalidate(&mut self, set: usize, way: usize, last: usize) {
+        self.stamps.swap_remove(set, way, last);
+    }
 }
 
 #[cfg(test)]

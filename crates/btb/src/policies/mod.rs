@@ -3,6 +3,7 @@
 //! The paper evaluates LRU (baseline), SRRIP, GHRP, Hawkeye and Belady's OPT
 //! against Thermometer (which lives in the `thermometer` crate since it is
 //! the paper's contribution). `Random` is included as a sanity floor.
+//! TRRIP is the published temperature-hinted follow-up (see PAPERS.md).
 
 mod drrip;
 mod fifo;
@@ -14,6 +15,7 @@ mod plru;
 mod random;
 mod ship;
 mod srrip;
+mod trrip;
 
 pub use drrip::Drrip;
 pub use fifo::Fifo;
@@ -25,6 +27,7 @@ pub use plru::PseudoLru;
 pub use random::Random;
 pub use ship::Ship;
 pub use srrip::Srrip;
+pub use trrip::Trrip;
 
 use crate::Geometry;
 
@@ -100,6 +103,14 @@ impl<T: Clone + Default> WayTable<T> {
         let base = set * self.stride;
         let len = self.row_len(set);
         &mut self.data[base..base + len]
+    }
+
+    /// The policy-side mirror of the storage's swap-remove invalidation:
+    /// moves the metadata of way `last` into `way` and resets `last` to the
+    /// default (when `way == last` this just resets the vacated slot).
+    pub(crate) fn swap_remove(&mut self, set: usize, way: usize, last: usize) {
+        let moved = std::mem::take(self.get_mut(set, last));
+        *self.get_mut(set, way) = moved;
     }
 }
 
@@ -183,6 +194,8 @@ mod tests {
         smoke(PseudoLru::new());
         smoke(Drrip::new());
         smoke(Ship::new());
+        smoke(Trrip::new());
+        smoke(Trrip::pinned_srrip());
     }
 
     #[test]
@@ -197,6 +210,7 @@ mod tests {
         assert_eq!(PseudoLru::new().name(), "PLRU");
         assert_eq!(Drrip::new().name(), "DRRIP");
         assert_eq!(Ship::new().name(), "SHiP");
+        assert_eq!(Trrip::new().name(), "TRRIP");
     }
 
     /// With a unique-PC stream longer than capacity, every access must miss

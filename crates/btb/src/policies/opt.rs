@@ -68,6 +68,10 @@ impl ReplacementPolicy for BeladyOpt {
     fn on_replace(&mut self, set: usize, way: usize, _evicted: &BtbEntry, ctx: &AccessContext) {
         *self.next_use.get_mut(set, way) = ctx.next_use;
     }
+
+    fn on_invalidate(&mut self, set: usize, way: usize, last: usize) {
+        self.next_use.swap_remove(set, way, last);
+    }
 }
 
 #[cfg(test)]

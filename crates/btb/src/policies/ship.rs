@@ -129,6 +129,10 @@ impl ReplacementPolicy for Ship {
         }
         self.insert(set, way, ctx);
     }
+
+    fn on_invalidate(&mut self, set: usize, way: usize, last: usize) {
+        self.meta.swap_remove(set, way, last);
+    }
 }
 
 #[cfg(test)]

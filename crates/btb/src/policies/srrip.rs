@@ -63,6 +63,10 @@ impl ReplacementPolicy for Srrip {
     fn on_replace(&mut self, set: usize, way: usize, _evicted: &BtbEntry, _ctx: &AccessContext) {
         *self.rrpv.get_mut(set, way) = RRPV_LONG;
     }
+
+    fn on_invalidate(&mut self, set: usize, way: usize, last: usize) {
+        self.rrpv.swap_remove(set, way, last);
+    }
 }
 
 #[cfg(test)]

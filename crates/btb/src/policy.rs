@@ -75,6 +75,16 @@ pub trait ReplacementPolicy {
     /// (called after [`ReplacementPolicy::choose_victim`] returned
     /// `Evict(way)`).
     fn on_replace(&mut self, set: usize, way: usize, evicted: &BtbEntry, ctx: &AccessContext);
+
+    /// The entry in `way` of `set` was invalidated (removed without a
+    /// replacement — multilevel hierarchies migrate entries this way). To
+    /// keep resident ways a contiguous prefix the storage moved the entry
+    /// from way `last` into `way` (`last == way` when the removed entry was
+    /// the prefix tail). Policies with per-way metadata must move `last`'s
+    /// metadata into `way`; the vacated tail slot is reinitialised by the
+    /// next `on_fill` before it can be consulted again. Default: no-op, for
+    /// policies without per-way state.
+    fn on_invalidate(&mut self, _set: usize, _way: usize, _last: usize) {}
 }
 
 /// Blanket impl so `Box<dyn ReplacementPolicy>` (used by heterogeneous
@@ -102,6 +112,10 @@ impl ReplacementPolicy for Box<dyn ReplacementPolicy> {
 
     fn on_replace(&mut self, set: usize, way: usize, evicted: &BtbEntry, ctx: &AccessContext) {
         (**self).on_replace(set, way, evicted, ctx);
+    }
+
+    fn on_invalidate(&mut self, set: usize, way: usize, last: usize) {
+        (**self).on_invalidate(set, way, last);
     }
 }
 

@@ -200,6 +200,26 @@ impl<P: ReplacementPolicy> ReferenceBtb<P> {
         }
     }
 
+    /// Removes `pc` if resident, returning the removed entry — the same
+    /// swap-remove semantics as [`crate::Btb::invalidate`]: the last
+    /// occupied way plugs the hole so occupied ways stay a prefix, and the
+    /// policy's [`ReplacementPolicy::on_invalidate`] relocates metadata.
+    pub fn invalidate(&mut self, pc: u64) -> Option<BtbEntry> {
+        let set = self.geometry.set_of(pc);
+        let way = self.sets[set]
+            .ways
+            .iter()
+            .position(|e| e.map(|e| e.pc) == Some(pc))?;
+        let occ = self.sets[set].ways.iter().flatten().count();
+        let last = occ - 1;
+        let removed = self.sets[set].ways[way].take();
+        if way != last {
+            self.sets[set].ways[way] = self.sets[set].ways[last].take();
+        }
+        self.policy.on_invalidate(set, way, last);
+        removed
+    }
+
     /// Number of currently resident entries.
     pub fn occupancy(&self) -> usize {
         self.sets

@@ -15,10 +15,11 @@
 //! by `set * stride + way`. A hit scan touches one contiguous cache line of
 //! PCs; fills and evictions write the parallel arrays at the same index.
 //! Occupancy is a single counter per set, which is sound because resident
-//! ways always form a prefix: entries are only ever filled into the first
-//! free way, replaced in place, or cleared wholesale — never invalidated
-//! individually. `tests/storage_differential.rs` pins this layout against
-//! the legacy per-entry [`reference`](crate::reference) implementation.
+//! ways always form a prefix: entries are filled into the first free way,
+//! replaced in place, cleared wholesale, or removed by
+//! [`SoaStorage::swap_remove`], which plugs the hole with the prefix tail.
+//! `tests/storage_differential.rs` pins this layout against the legacy
+//! per-entry [`reference`](crate::reference) implementation.
 
 use btb_trace::BranchKind;
 
@@ -179,6 +180,31 @@ impl SoaStorage {
             kind: self.kinds[i],
             hint: self.hints[i],
         }));
+    }
+
+    /// Removes the entry at `(set, way)`, preserving the resident-prefix
+    /// invariant by moving the last resident entry of the set into the
+    /// hole. Returns the way the moved entry came from (`== way` when the
+    /// removed entry was the prefix tail) so the caller can relocate policy
+    /// metadata the same way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `way` is not resident.
+    pub fn swap_remove(&mut self, set: usize, way: usize) -> usize {
+        let occ = usize::from(self.occupancy[set]);
+        assert!(way < occ, "swap_remove of empty way {way}");
+        let last = occ - 1;
+        if way != last {
+            let from = set * self.stride + last;
+            let to = set * self.stride + way;
+            self.pcs[to] = self.pcs[from];
+            self.targets[to] = self.targets[from];
+            self.kinds[to] = self.kinds[from];
+            self.hints[to] = self.hints[from];
+        }
+        self.occupancy[set] = last as u16;
+        last
     }
 
     /// Resident entries in `set`.

@@ -36,14 +36,18 @@ impl Default for PipelineConfig {
 }
 
 /// Policy names accepted by [`Pipeline::run_named`], in canonical order —
-/// the `btbsim --policy` vocabulary.
-pub const POLICY_NAMES: [&str; 11] = [
+/// the `btbsim --policy` vocabulary. The count is `POLICY_NAMES.len()`;
+/// every entry must resolve through [`PolicyKind::by_name`] (checked by the
+/// pipeline and policy-kind test suites), so extending the zoo means adding
+/// the name here and the variant there — nothing else hard-codes the size.
+pub const POLICY_NAMES: [&str; 12] = [
     "lru",
     "fifo",
     "plru",
     "random",
     "srrip",
     "drrip",
+    "trrip",
     "ship",
     "ghrp",
     "hawkeye",
@@ -166,9 +170,10 @@ impl Pipeline {
     }
 
     /// Runs the policy named by one of [`POLICY_NAMES`] (the CLI
-    /// vocabulary). `"thermometer"` uses `hints` when given and otherwise
-    /// profiles the simulated trace itself; every other policy ignores
-    /// `hints`. Returns `None` for an unknown name.
+    /// vocabulary). Hint-consuming policies (`"thermometer"`, `"trrip"`)
+    /// use `hints` when given and otherwise profile the simulated trace
+    /// itself; every other policy ignores `hints`. Returns `None` for an
+    /// unknown name.
     ///
     /// Dispatch goes through [`PolicyKind`], so the whole vocabulary shares
     /// one `Frontend<Btb<PolicyKind>>` instantiation (enum dispatch on the
@@ -183,7 +188,7 @@ impl Pipeline {
         let policy = PolicyKind::by_name(name)?;
         let label = policy.name();
         let mut fe = Frontend::new(self.config.frontend, policy);
-        if fe.btb().policy().is_thermometer() {
+        if fe.btb().policy().wants_hints() {
             let own_hints;
             let hints = match hints {
                 Some(h) => h,

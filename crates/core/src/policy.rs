@@ -113,6 +113,10 @@ impl ReplacementPolicy for ThermometerPolicy {
     fn on_replace(&mut self, set: usize, way: usize, evicted: &BtbEntry, ctx: &AccessContext) {
         self.lru.on_replace(set, way, evicted, ctx);
     }
+
+    fn on_invalidate(&mut self, set: usize, way: usize, last: usize) {
+        self.lru.on_invalidate(set, way, last);
+    }
 }
 
 /// Ablation: Algorithm 1 without the bypass rule — when the incoming
@@ -165,6 +169,10 @@ impl ReplacementPolicy for ThermometerNoBypass {
 
     fn on_replace(&mut self, set: usize, way: usize, evicted: &BtbEntry, ctx: &AccessContext) {
         self.lru.on_replace(set, way, evicted, ctx);
+    }
+
+    fn on_invalidate(&mut self, set: usize, way: usize, last: usize) {
+        self.lru.on_invalidate(set, way, last);
     }
 }
 

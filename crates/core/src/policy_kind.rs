@@ -2,8 +2,9 @@
 //!
 //! [`Pipeline::run_named`](crate::pipeline::Pipeline::run_named) used to
 //! monomorphize one `Frontend<Btb<P>>` per policy type, which kept every
-//! per-access policy callback a direct call but compiled eleven copies of
-//! the whole simulation loop. [`PolicyKind`] collapses that to a single
+//! per-access policy callback a direct call but compiled one copy of the
+//! whole simulation loop per [`POLICY_NAMES`](crate::pipeline::POLICY_NAMES)
+//! entry. [`PolicyKind`] collapses that to a single
 //! instantiation: one enum whose variants hold the concrete policies, with
 //! each [`ReplacementPolicy`] method a `match` that the optimizer turns
 //! into a jump table. Unlike `Box<dyn ReplacementPolicy>`, the policy state
@@ -13,7 +14,7 @@
 
 use btb_model::policies::{
     BeladyOpt, Drrip, Fifo, Ghrp, GhrpConfig, Hawkeye, HawkeyeConfig, Lru, PseudoLru, Random, Ship,
-    Srrip,
+    Srrip, Trrip,
 };
 use btb_model::{AccessContext, BtbEntry, Geometry, ReplacementPolicy, Victim};
 
@@ -35,6 +36,8 @@ pub enum PolicyKind {
     Srrip(Srrip),
     /// Dynamic RRIP with set dueling.
     Drrip(Drrip),
+    /// Temperature-hinted RRIP (needs hints to help).
+    Trrip(Trrip),
     /// Signature-based hit prediction.
     Ship(Ship),
     /// Global-history reference prediction.
@@ -57,6 +60,7 @@ macro_rules! each_kind {
             PolicyKind::Random($p) => $body,
             PolicyKind::Srrip($p) => $body,
             PolicyKind::Drrip($p) => $body,
+            PolicyKind::Trrip($p) => $body,
             PolicyKind::Ship($p) => $body,
             PolicyKind::Ghrp($p) => $body,
             PolicyKind::Hawkeye($p) => $body,
@@ -79,6 +83,7 @@ impl PolicyKind {
             "random" => Self::Random(Random::with_seed(0x5eed)),
             "srrip" => Self::Srrip(Srrip::new()),
             "drrip" => Self::Drrip(Drrip::new()),
+            "trrip" => Self::Trrip(Trrip::new()),
             "ship" => Self::Ship(Ship::new()),
             "ghrp" => Self::Ghrp(Ghrp::new(GhrpConfig::default())),
             "hawkeye" => Self::Hawkeye(Hawkeye::new(HawkeyeConfig::default())),
@@ -96,6 +101,12 @@ impl PolicyKind {
     /// Whether this is the hint-consuming Thermometer policy.
     pub fn is_thermometer(&self) -> bool {
         matches!(self, Self::Thermometer(_))
+    }
+
+    /// Whether this policy consumes temperature hints — the pipeline only
+    /// profiles a training trace for policies that will read the result.
+    pub fn wants_hints(&self) -> bool {
+        matches!(self, Self::Thermometer(_) | Self::Trrip(_))
     }
 
     /// The coverage counters when this is Thermometer.
@@ -131,6 +142,10 @@ impl ReplacementPolicy for PolicyKind {
     fn on_replace(&mut self, set: usize, way: usize, evicted: &BtbEntry, ctx: &AccessContext) {
         each_kind!(self, p => p.on_replace(set, way, evicted, ctx));
     }
+
+    fn on_invalidate(&mut self, set: usize, way: usize, last: usize) {
+        each_kind!(self, p => p.on_invalidate(set, way, last));
+    }
 }
 
 #[cfg(test)]
@@ -147,6 +162,7 @@ mod tests {
             ("random", "Random"),
             ("srrip", "SRRIP"),
             ("drrip", "DRRIP"),
+            ("trrip", "TRRIP"),
             ("ship", "SHiP"),
             ("ghrp", "GHRP"),
             ("hawkeye", "Hawkeye"),

@@ -52,8 +52,9 @@ fn four_threads_match_one_thread_byte_for_byte() {
     let _reset = ResetThreads;
     let scale = Scale::smoke();
     // Per-app figures plus fig17 (per-trace suite grid) so both grid entry
-    // points are exercised.
-    let ids = ["fig01", "fig09", "fig15", "fig17"];
+    // points are exercised, plus the extension suites whose cells run
+    // several frontends each (trrip head-to-head, hierarchy sweep).
+    let ids = ["fig01", "fig09", "fig15", "fig17", "trrip", "hierarchy"];
 
     pool::set_threads(1);
     let serial = render(&ids, &scale);

@@ -1,0 +1,253 @@
+//! Property battery for the two-level BTB hierarchies in
+//! `btb_model::multilevel`.
+//!
+//! Three invariants, each checked after *every* access of a randomized
+//! stream (not just at the end), so a transiently broken state cannot hide
+//! behind a later repair:
+//!
+//! * **Inclusion** — the inclusive [`TwoLevelBtb`] never holds a branch in
+//!   L1 that is absent from L2. This is exactly the contract
+//!   back-invalidation exists to keep: without it, an L2 eviction would
+//!   leave a stale L1 copy serving hits for a branch the hierarchy already
+//!   gave up.
+//! * **Exclusivity** — the victim-style [`ExclusiveTwoLevelBtb`] never
+//!   holds the same branch in both levels, across demand accesses *and*
+//!   prefetch fills.
+//! * **Conservation** — both hierarchies classify every access as exactly
+//!   one of hit/miss, and they observe the same access stream as a flat
+//!   reference BTB driven in lockstep.
+
+use btb_model::policies::{Lru, Srrip, Trrip};
+use btb_model::{
+    AccessContext, Btb, BtbConfig, BtbInterface, ExclusiveTwoLevelBtb, ReplacementPolicy,
+    TwoLevelBtb,
+};
+use btb_trace::BranchKind;
+use sim_support::{forall, SimRng};
+
+/// One randomized step: mostly demand accesses, occasionally a hinted
+/// prefetch fill (which exercises the spill/back-invalidate paths that
+/// demand traffic alone would not).
+#[derive(Debug, Clone)]
+enum Op {
+    Access { pc: u64, target: u64 },
+    Prefetch { pc: u64, target: u64, hint: u8 },
+}
+
+/// A stream plus the geometries it runs against. The pc alphabet is small
+/// (multiples of 4 below `universe`) so set conflicts — the only source of
+/// evictions, spills, and back-invalidations — are frequent.
+#[derive(Debug, Clone)]
+struct Case {
+    ops: Vec<Op>,
+    l1: (usize, usize),
+    l2: (usize, usize),
+    universe: u64,
+}
+
+fn arb_case(rng: &mut SimRng) -> Case {
+    let universe = rng.gen_range(8u64..40);
+    let len = rng.gen_range(1usize..400);
+    let ops = (0..len)
+        .map(|_| {
+            let pc = rng.gen_range(0..universe) * 4;
+            let target = 0x1000 + rng.gen_range(0u64..5) * 8;
+            if rng.gen_range(0u32..8) == 0 {
+                Op::Prefetch {
+                    pc,
+                    target,
+                    hint: rng.gen_range(0u32..4) as u8,
+                }
+            } else {
+                Op::Access { pc, target }
+            }
+        })
+        .collect();
+    // L1 strictly smaller than L2 (the constructors assert it).
+    let l1_ways = rng.gen_range(1usize..3);
+    let l1_sets = rng.gen_range(1usize..3);
+    let l2_ways = rng.gen_range(1usize..5);
+    let l2_sets = rng.gen_range(1usize..5);
+    let l1 = (l1_sets * l1_ways).min(l2_sets * l2_ways.max(2) - 1).max(1);
+    Case {
+        ops,
+        l1: (l1, l1_ways.min(l1)),
+        l2: (l1 + l2_sets * l2_ways, l2_ways),
+        universe,
+    }
+}
+
+fn shrink_case(case: &Case) -> Vec<Case> {
+    if case.ops.len() < 2 {
+        return Vec::new();
+    }
+    let mid = case.ops.len() / 2;
+    let mut halves = Vec::new();
+    for ops in [case.ops[..mid].to_vec(), case.ops[mid..].to_vec()] {
+        let mut c = case.clone();
+        c.ops = ops;
+        halves.push(c);
+    }
+    halves
+}
+
+fn ctx(pc: u64, target: u64, index: u64) -> AccessContext {
+    AccessContext {
+        pc,
+        target,
+        kind: BranchKind::UncondDirect,
+        hint: 0,
+        next_use: u64::MAX,
+        access_index: index,
+    }
+}
+
+fn apply<B: BtbInterface>(btb: &mut B, op: &Op, index: u64) {
+    match *op {
+        Op::Access { pc, target } => {
+            btb.access(&ctx(pc, target, index));
+        }
+        Op::Prefetch { pc, target, hint } => {
+            btb.prefetch_fill_hinted(pc, target, BranchKind::UncondDirect, hint);
+        }
+    }
+}
+
+#[test]
+fn prop_inclusive_l1_is_a_subset_of_l2() {
+    forall!(cases: 48, gen: arb_case, shrink: shrink_case, prop: |case: &Case| {
+        let mut btb = TwoLevelBtb::new(
+            BtbConfig::new(case.l1.0, case.l1.1),
+            BtbConfig::new(case.l2.0, case.l2.1),
+            Lru::new(),
+        );
+        for (i, op) in case.ops.iter().enumerate() {
+            apply(&mut btb, op, i as u64);
+            for pc in (0..case.universe).map(|p| p * 4) {
+                if btb.l1().probe(pc).is_some() {
+                    assert!(
+                        btb.l2().probe(pc).is_some(),
+                        "inclusion broken after op {i}: {pc:#x} in L1 but not L2"
+                    );
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn prop_exclusive_never_holds_a_pc_in_both_levels() {
+    forall!(cases: 48, gen: arb_case, shrink: shrink_case, prop: |case: &Case| {
+        let mut btb = ExclusiveTwoLevelBtb::new(
+            BtbConfig::new(case.l1.0, case.l1.1),
+            BtbConfig::new(case.l2.0, case.l2.1),
+            Lru::new(),
+        );
+        for (i, op) in case.ops.iter().enumerate() {
+            apply(&mut btb, op, i as u64);
+            for pc in (0..case.universe).map(|p| p * 4) {
+                let both = btb.l1().probe(pc).is_some() && btb.l2().probe(pc).is_some();
+                assert!(!both, "exclusivity broken after op {i}: {pc:#x} in both levels");
+            }
+        }
+    });
+}
+
+/// Drives a hierarchy and a flat reference BTB in lockstep and checks the
+/// aggregate accounting: the hierarchy sees exactly the accesses the flat
+/// run sees, every one classified as exactly one of hit/miss, and the
+/// wrapper's per-level counters add back up to the total.
+fn conservation<B: BtbInterface>(case: &Case, btb: &mut B, level_hits: impl Fn(&B) -> u64) {
+    let mut flat = Btb::new(BtbConfig::new(case.l2.0, case.l2.1), Lru::new());
+    let mut demand = 0u64;
+    for (i, op) in case.ops.iter().enumerate() {
+        apply(btb, op, i as u64);
+        apply(&mut flat, op, i as u64);
+        if matches!(op, Op::Access { .. }) {
+            demand += 1;
+        }
+    }
+    let s = btb.stats();
+    let f = flat.stats().clone();
+    assert_eq!(
+        s.accesses, demand,
+        "hierarchy must count every demand access"
+    );
+    assert_eq!(
+        s.accesses, f.accesses,
+        "flat reference saw a different stream"
+    );
+    assert_eq!(
+        f.hits + f.misses,
+        f.accesses,
+        "flat accounting must conserve"
+    );
+    assert_eq!(
+        s.hits + s.misses,
+        s.accesses,
+        "every access must be exactly one of hit/miss"
+    );
+    assert_eq!(
+        level_hits(btb),
+        s.hits,
+        "per-level hit counters must add up to the total"
+    );
+}
+
+#[test]
+fn prop_hierarchy_stats_conserve_against_a_flat_run() {
+    forall!(cases: 48, gen: arb_case, shrink: shrink_case, prop: |case: &Case| {
+        let mut incl = TwoLevelBtb::new(
+            BtbConfig::new(case.l1.0, case.l1.1),
+            BtbConfig::new(case.l2.0, case.l2.1),
+            Lru::new(),
+        );
+        conservation(case, &mut incl, |b| b.l1_hits + b.l2_hits);
+        let mut excl = ExclusiveTwoLevelBtb::new(
+            BtbConfig::new(case.l1.0, case.l1.1),
+            BtbConfig::new(case.l2.0, case.l2.1),
+            Lru::new(),
+        );
+        conservation(case, &mut excl, |b| b.l1_hits + b.l2_hits);
+    });
+}
+
+/// The invariants are not LRU artifacts: the same batteries hold with
+/// RRIP-family policies (including hint-driven TRRIP) managing the last
+/// level.
+#[test]
+fn prop_invariants_hold_for_rrip_family_last_levels() {
+    fn run_zoo<P: ReplacementPolicy>(case: &Case, make: impl Fn() -> P) {
+        let l1 = BtbConfig::new(case.l1.0, case.l1.1);
+        let l2 = BtbConfig::new(case.l2.0, case.l2.1);
+        let mut incl = TwoLevelBtb::new(l1, l2, make());
+        let mut excl = ExclusiveTwoLevelBtb::new(l1, l2, make());
+        for (i, op) in case.ops.iter().enumerate() {
+            apply(&mut incl, op, i as u64);
+            apply(&mut excl, op, i as u64);
+            for pc in (0..case.universe).map(|p| p * 4) {
+                if incl.l1().probe(pc).is_some() {
+                    assert!(
+                        incl.l2().probe(pc).is_some(),
+                        "inclusion broken for {} after op {i}",
+                        incl.l2().policy().name()
+                    );
+                }
+                let both = excl.l1().probe(pc).is_some() && excl.l2().probe(pc).is_some();
+                assert!(
+                    !both,
+                    "exclusivity broken for {} after op {i}",
+                    excl.l2().policy().name()
+                );
+            }
+        }
+        let s = incl.stats();
+        assert_eq!(s.hits + s.misses, s.accesses);
+        let s = excl.stats();
+        assert_eq!(s.hits + s.misses, s.accesses);
+    }
+    forall!(cases: 24, gen: arb_case, shrink: shrink_case, prop: |case: &Case| {
+        run_zoo(case, Srrip::new);
+        run_zoo(case, Trrip::new);
+    });
+}

@@ -11,13 +11,18 @@
 //!   ([`Drrip::pinned_srrip`]) every set inserts at the long re-reference
 //!   point, so DRRIP's RRPV machinery (victim scan, aging, hit promotion)
 //!   must reproduce SRRIP access for access.
+//! * **SRRIP ≡ TRRIP with temperature collapsed.** TRRIP's only deviation
+//!   from SRRIP is choosing insertion/promotion RRPVs by temperature
+//!   class; with every class pinned to warm ([`Trrip::pinned_srrip`]) or
+//!   every hint uniformly warm, it must be bit-identical to SRRIP — over
+//!   random streams *and* the full 13-app trace corpus.
 //! * **OPT dominance.** No online policy — including the extension zoo
-//!   (FIFO, PLRU, DRRIP, SHiP, Random) — collects more hits than Belady's
-//!   OPT on the same trace.
+//!   (FIFO, PLRU, DRRIP, TRRIP, SHiP, Random) — collects more hits than
+//!   Belady's OPT on the same trace.
 
 use btb_model::policies::{
     BeladyOpt, Drrip, Fifo, Ghrp, GhrpConfig, Hawkeye, HawkeyeConfig, Lru, PseudoLru, Random, Ship,
-    Srrip,
+    Srrip, Trrip,
 };
 use btb_model::{AccessContext, Btb, BtbConfig, BtbStats, ReplacementPolicy};
 use btb_trace::{BranchKind, BranchRecord, NextUseOracle, Trace};
@@ -36,6 +41,18 @@ fn drive<P: ReplacementPolicy>(
     config: BtbConfig,
     oracle: bool,
 ) -> BtbStats {
+    drive_hinted(trace, policy, config, oracle, 0)
+}
+
+/// Like [`drive`], but stamps every access with a uniform temperature
+/// hint — the knob the TRRIP ≡ SRRIP differentials turn.
+fn drive_hinted<P: ReplacementPolicy>(
+    trace: &Trace,
+    policy: P,
+    config: BtbConfig,
+    oracle: bool,
+    hint: u8,
+) -> BtbStats {
     let oracle = oracle.then(|| NextUseOracle::build(trace));
     let mut btb = Btb::new(config, policy);
     for (i, r) in trace.taken().enumerate() {
@@ -43,7 +60,7 @@ fn drive<P: ReplacementPolicy>(
             pc: r.pc,
             target: r.target,
             kind: r.kind,
-            hint: 0,
+            hint,
             next_use: oracle.as_ref().map_or(u64::MAX, |o| o.next_use(i)),
             access_index: i as u64,
         };
@@ -141,6 +158,84 @@ fn pinned_drrip_equals_srrip_on_real_workloads() {
 }
 
 #[test]
+fn prop_pinned_trrip_equals_srrip() {
+    forall!(cases: 48, gen: |rng| {
+        let len = rng.gen_range(1usize..600);
+        let pcs: Vec<u64> = (0..len).map(|_| rng.gen_range(0u64..96)).collect();
+        let ways = rng.gen_range(1usize..6);
+        let sets = rng.gen_range(1usize..17);
+        let hint = rng.gen_range(0u32..4) as u8;
+        (pcs, sets * ways, ways, hint)
+    }, prop: |(pcs, entries, ways, hint)| {
+        let trace = synthetic(pcs);
+        let config = BtbConfig::new(*entries, *ways);
+        let srrip = drive(&trace, Srrip::new(), config, false);
+        // Pinned TRRIP must ignore whatever hint the frontend supplies.
+        let trrip = drive_hinted(&trace, Trrip::pinned_srrip(), config, false, *hint);
+        assert_eq!(
+            srrip, trrip,
+            "pinned TRRIP diverged from SRRIP at {ways} ways, {entries} entries (hint {hint})"
+        );
+    });
+}
+
+#[test]
+fn prop_uniformly_warm_trrip_equals_srrip() {
+    // The un-pinned policy, with every access hinted warm: the warm class's
+    // insertion/promotion RRPVs are exactly SRRIP's constants, so the
+    // temperature machinery must be invisible.
+    forall!(cases: 48, gen: |rng| {
+        let len = rng.gen_range(1usize..600);
+        let pcs: Vec<u64> = (0..len).map(|_| rng.gen_range(0u64..96)).collect();
+        let ways = rng.gen_range(1usize..6);
+        let sets = rng.gen_range(1usize..17);
+        (pcs, sets * ways, ways)
+    }, prop: |(pcs, entries, ways)| {
+        let trace = synthetic(pcs);
+        let config = BtbConfig::new(*entries, *ways);
+        let srrip = drive(&trace, Srrip::new(), config, false);
+        let trrip = drive_hinted(&trace, Trrip::new(), config, false, 1);
+        assert_eq!(
+            srrip, trrip,
+            "uniformly-warm TRRIP diverged from SRRIP at {ways} ways, {entries} entries"
+        );
+    });
+}
+
+#[test]
+fn collapsed_trrip_equals_srrip_over_the_full_corpus() {
+    // Bit-identical statistics on every one of the 13 application models,
+    // both ways of collapsing the temperature axis: pinning the policy and
+    // hinting every access warm.
+    let config = BtbConfig::new(2048, 4);
+    for spec in AppSpec::all() {
+        let trace = spec.generate(InputConfig::input(0), 100_000);
+        let srrip = drive(&trace, Srrip::new(), config, false);
+        let pinned = drive_hinted(&trace, Trrip::pinned_srrip(), config, false, 2);
+        assert_eq!(
+            srrip, pinned,
+            "{}: pinned TRRIP must match SRRIP",
+            spec.name
+        );
+        let warm = drive_hinted(&trace, Trrip::new(), config, false, 1);
+        assert_eq!(
+            srrip, warm,
+            "{}: uniformly-warm TRRIP must match SRRIP",
+            spec.name
+        );
+    }
+    // Sanity: a *different* uniform class must diverge somewhere, or the
+    // equivalences above prove nothing about the temperature plumbing.
+    let trace = workload("kafka");
+    let srrip = drive(&trace, Srrip::new(), config, false);
+    let cold = drive_hinted(&trace, Trrip::new(), config, false, 0);
+    assert_ne!(
+        srrip, cold,
+        "uniformly-cold TRRIP should diverge from SRRIP on kafka"
+    );
+}
+
+#[test]
 fn prop_no_policy_in_the_full_zoo_beats_opt() {
     forall!(cases: 24, gen: |rng| {
         let len = rng.gen_range(1usize..400);
@@ -160,6 +255,9 @@ fn prop_no_policy_in_the_full_zoo_beats_opt() {
             ("SRRIP", drive(&trace, Srrip::new(), config, false)),
             ("DRRIP", drive(&trace, Drrip::new(), config, false)),
             ("DRRIP-pinned", drive(&trace, Drrip::pinned_srrip(), config, false)),
+            ("TRRIP", drive(&trace, Trrip::new(), config, false)),
+            ("TRRIP-warm", drive_hinted(&trace, Trrip::new(), config, false, 1)),
+            ("TRRIP-pinned", drive(&trace, Trrip::pinned_srrip(), config, false)),
             ("SHiP", drive(&trace, Ship::new(), config, false)),
             ("GHRP", drive(&trace, Ghrp::new(GhrpConfig::default()), config, false)),
             ("Hawkeye", drive(&trace, Hawkeye::new(HawkeyeConfig::default()), config, false)),

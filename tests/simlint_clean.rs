@@ -21,6 +21,33 @@ fn workspace_is_lint_clean() {
 }
 
 #[test]
+fn policy_zoo_additions_are_lint_clean() {
+    // Fixture-style pin on the sources added with the TRRIP + multilevel
+    // hierarchy work: each must pass the determinism/safety rules on its
+    // own, so a future edit cannot hide behind a broadened allowlist.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let config = simlint::load_config(&root).expect("simlint.toml parses");
+    for rel in [
+        "crates/btb/src/policies/trrip.rs",
+        "crates/btb/src/multilevel.rs",
+        "crates/btb/src/storage.rs",
+        "crates/bench/src/figures/extensions.rs",
+        "crates/bench/tests/figure_goldens.rs",
+        "tests/multilevel_properties.rs",
+    ] {
+        let text = std::fs::read_to_string(root.join(rel)).unwrap_or_else(|e| {
+            panic!("cannot read {rel}: {e}");
+        });
+        let diags = simlint::lint_source(rel, &text, &config);
+        assert!(
+            diags.is_empty(),
+            "{rel} has unsuppressed lint findings:\n{}",
+            simlint::render_text(&diags)
+        );
+    }
+}
+
+#[test]
 fn central_allowlist_entries_all_carry_reasons() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
     let config = simlint::load_config(&root).expect("simlint.toml parses");

@@ -10,7 +10,7 @@
 
 use btb_model::policies::{
     BeladyOpt, Drrip, Fifo, Ghrp, GhrpConfig, Hawkeye, HawkeyeConfig, Lru, PseudoLru, Random, Ship,
-    Srrip,
+    Srrip, Trrip,
 };
 use btb_model::reference::ReferenceBtb;
 use btb_model::{AccessContext, Btb, BtbConfig, ReplacementPolicy};
@@ -25,6 +25,9 @@ enum Op {
     Access(AccessContext),
     /// A prefetcher-initiated hinted fill.
     Prefetch { pc: u64, target: u64, hint: u8 },
+    /// An invalidation (the multilevel hierarchies' back-invalidate /
+    /// move-up path) — exercises swap-remove metadata relocation.
+    Invalidate { pc: u64 },
 }
 
 /// A small, collision-heavy op stream: few sets, PCs clustered so sets
@@ -35,12 +38,15 @@ fn arb_ops(rng: &mut SimRng, len: usize) -> Vec<Op> {
             let pc = rng.gen_range(0u64..48) * 4;
             let kind =
                 BranchKind::from_code(rng.gen_range(0u32..6) as u8).expect("codes 0..6 are valid");
-            if rng.gen_range(0u32..8) == 0 {
+            let roll = rng.gen_range(0u32..16);
+            if roll < 2 {
                 Op::Prefetch {
                     pc,
                     target: pc + rng.gen_range(1u64..0x100),
                     hint: rng.gen_range(0u32..4) as u8,
                 }
+            } else if roll == 2 {
+                Op::Invalidate { pc }
             } else {
                 Op::Access(AccessContext {
                     pc,
@@ -79,6 +85,11 @@ fn differential<P: ReplacementPolicy>(label: &str, make: impl Fn() -> P, ops: &[
                     );
                     assert_eq!(a, b, "{label}: prefetch diverged at op {i} (pc {pc:#x})");
                 }
+                Op::Invalidate { pc } => {
+                    let a = soa.invalidate(*pc);
+                    let b = reference.invalidate(*pc);
+                    assert_eq!(a, b, "{label}: invalidate diverged at op {i} (pc {pc:#x})");
+                }
             }
         }
         assert_eq!(soa.stats(), reference.stats(), "{label}: stats diverged");
@@ -104,6 +115,8 @@ fn zoo(ops: &[Op]) {
     differential("SRRIP", Srrip::new, ops);
     differential("DRRIP", Drrip::new, ops);
     differential("DRRIP-pinned", Drrip::pinned_srrip, ops);
+    differential("TRRIP", Trrip::new, ops);
+    differential("TRRIP-pinned", Trrip::pinned_srrip, ops);
     differential("SHiP", Ship::new, ops);
     differential("GHRP", || Ghrp::new(GhrpConfig::default()), ops);
     differential("Hawkeye", || Hawkeye::new(HawkeyeConfig::default()), ops);
@@ -114,6 +127,11 @@ fn zoo(ops: &[Op]) {
     differential(
         "PolicyKind",
         || PolicyKind::by_name("srrip").expect("srrip is known"),
+        ops,
+    );
+    differential(
+        "PolicyKind-trrip",
+        || PolicyKind::by_name("trrip").expect("trrip is known"),
         ops,
     );
 }
