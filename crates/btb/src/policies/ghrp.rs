@@ -172,17 +172,22 @@ impl ReplacementPolicy for Ghrp {
 
     fn choose_victim(&mut self, set: usize, resident: &[BtbEntry], _ctx: &AccessContext) -> Victim {
         // Prefer a predicted-dead entry; tie-break (and fall back) on LRU.
+        // One allocation-free scan tracking the LRU way among the
+        // predicted-dead and among all ways; strict `<` preserves the
+        // first-minimum tie-break of the old `min_by_key` over a pool.
         let row = self.meta.row(set);
-        let mut pool: Vec<usize> = (0..resident.len())
-            .filter(|&w| self.predict_dead(row[w].signature))
-            .collect();
-        if pool.is_empty() {
-            pool = (0..resident.len()).collect();
+        let mut dead: Option<(u64, usize)> = None;
+        let mut any: Option<(u64, usize)> = None;
+        for (w, m) in row.iter().enumerate().take(resident.len()) {
+            let stamp = m.stamp;
+            if self.predict_dead(m.signature) && dead.is_none_or(|(s, _)| stamp < s) {
+                dead = Some((stamp, w));
+            }
+            if any.is_none_or(|(s, _)| stamp < s) {
+                any = Some((stamp, w));
+            }
         }
-        let victim = pool
-            .into_iter()
-            .min_by_key(|&w| row[w].stamp)
-            .expect("victim pool is non-empty");
+        let victim = dead.or(any).map_or(0, |(_, w)| w);
         Victim::Evict(victim)
     }
 

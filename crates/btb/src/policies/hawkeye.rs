@@ -213,10 +213,15 @@ impl ReplacementPolicy for Hawkeye {
         // Otherwise sacrifice the oldest friendly entry. (Unlike LLC
         // Hawkeye we do not detrain the sacrificed PC: on the BTB's much
         // smaller sets that feedback loop turns the whole predictor averse
-        // and degenerates into thrash.)
-        let way = (0..resident.len())
-            .max_by_key(|&w| row[w].rrpv)
-            .expect("set has at least one way");
+        // and degenerates into thrash.) `>=` preserves the last-maximum
+        // tie-break of the old `max_by_key`.
+        let way = (0..resident.len()).fold(0, |best, w| {
+            if row[w].rrpv >= row[best].rrpv {
+                w
+            } else {
+                best
+            }
+        });
         Victim::Evict(way)
     }
 

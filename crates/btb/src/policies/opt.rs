@@ -52,10 +52,19 @@ impl ReplacementPolicy for BeladyOpt {
 
     fn choose_victim(&mut self, set: usize, resident: &[BtbEntry], ctx: &AccessContext) -> Victim {
         let row = self.next_use.row(set);
-        let (far_way, far_use) = (0..resident.len())
-            .map(|w| (w, row[w]))
-            .max_by_key(|&(_, u)| u)
-            .expect("set has at least one way");
+        // `>=` preserves the last-maximum tie-break of the old
+        // `max_by_key` without its panic path.
+        let (far_way, far_use) =
+            (0..resident.len()).fold(
+                (0, 0),
+                |(bw, bu), w| {
+                    if row[w] >= bu {
+                        (w, row[w])
+                    } else {
+                        (bw, bu)
+                    }
+                },
+            );
         // Bypass when the incoming branch recurs no sooner than every
         // resident entry (ties favour bypass: inserting buys nothing).
         if ctx.next_use >= far_use || ctx.next_use == NEVER {

@@ -104,6 +104,7 @@ impl SoaStorage {
 
     #[inline(always)]
     fn find_row<const W: usize>(row: &[u64], occ: usize, pc: u64) -> Option<usize> {
+        // simlint: allow(P02) -- callers slice exactly W elements (see the geometry match in find)
         let row: &[u64; W] = row.try_into().expect("row width");
         let mut hit = usize::MAX;
         for (w, &p) in row.iter().enumerate() {

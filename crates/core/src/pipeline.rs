@@ -36,10 +36,16 @@ impl Default for PipelineConfig {
 }
 
 /// Policy names accepted by [`Pipeline::run_named`], in canonical order —
-/// the `btbsim --policy` vocabulary. The count is `POLICY_NAMES.len()`;
-/// every entry must resolve through [`PolicyKind::by_name`] (checked by the
-/// pipeline and policy-kind test suites), so extending the zoo means adding
-/// the name here and the variant there — nothing else hard-codes the size.
+/// the `btbsim --policy` vocabulary. The count is `POLICY_NAMES.len()`.
+///
+/// This list is one leg of the `[registry.policy-zoo]` declared in
+/// `simlint.toml`: simlint's R-rules hold it byte-consistent with the
+/// [`PolicyKind`](crate::policy_kind::PolicyKind) variants (R01/R02), the
+/// `each_kind!` dispatch arms (R03), the differential-test batteries
+/// (R04), and the figure suite (R05). A half-added policy fails `cargo
+/// test -q` before it compiles into a silently unplotted zoo member, so
+/// extending the zoo means wiring the name through every leg — nothing
+/// else hard-codes the size.
 pub const POLICY_NAMES: [&str; 12] = [
     "lru",
     "fifo",

@@ -154,16 +154,14 @@ impl ReplacementPolicy for ThermometerNoBypass {
 
     fn choose_victim(&mut self, set: usize, resident: &[BtbEntry], _ctx: &AccessContext) -> Victim {
         // Coldest resident category (the incoming branch is always
-        // inserted), LRU tie-break.
-        let coldest = resident
-            .iter()
-            .map(|e| e.hint)
-            .min()
-            .expect("set non-empty");
+        // inserted), LRU tie-break. Folding from `u8::MAX` reaches the
+        // same minimum on any non-empty set, and some resident always
+        // carries that minimum, so the filtered LRU scan cannot miss.
+        let coldest = resident.iter().map(|e| e.hint).fold(u8::MAX, u8::min);
         let way = self
             .lru
             .lru_way_filtered(set, resident.len(), |w| resident[w].hint == coldest)
-            .expect("a coldest resident always exists");
+            .unwrap_or(0);
         Victim::Evict(way)
     }
 
@@ -200,12 +198,7 @@ impl ReplacementPolicy for HolisticOnly {
     fn on_fill(&mut self, _set: usize, _way: usize, _ctx: &AccessContext) {}
 
     fn choose_victim(&mut self, _set: usize, resident: &[BtbEntry], ctx: &AccessContext) -> Victim {
-        let coldest = resident
-            .iter()
-            .map(|e| e.hint)
-            .min()
-            .expect("set non-empty")
-            .min(ctx.hint);
+        let coldest = resident.iter().map(|e| e.hint).fold(ctx.hint, u8::min);
         match (0..resident.len()).find(|&w| resident[w].hint == coldest) {
             Some(way) => Victim::Evict(way),
             None => Victim::Bypass,

@@ -153,6 +153,9 @@ mod tests {
     use super::*;
     use crate::pipeline::POLICY_NAMES;
 
+    /// Runtime companion to simlint's registry rules: R01/R02 already
+    /// pin name-list ↔ builder ↔ variants statically; this additionally
+    /// checks each constructed policy reports its display label.
     #[test]
     fn covers_the_cli_vocabulary_with_matching_labels() {
         let labels = [

@@ -1,26 +1,41 @@
 //! CLI for the workspace lint.
 //!
 //! ```text
-//! simlint [--root DIR] [--config FILE] [--format text|json]
+//! simlint [--root DIR] [--config FILE] [--format text|json|sarif]
+//! simlint --self-check [--root DIR] [--config FILE]
 //! ```
 //!
-//! Exit codes: 0 clean, 1 findings reported, 2 usage or I/O error.
+//! `--self-check` runs the seeded-mutation battery instead of a lint: it
+//! verifies the baseline tree is clean, then confirms each mutation class
+//! (registry drift, hot-path violations, dead suppressions) is caught by
+//! exactly the intended rule.
+//!
+//! Exit codes: 0 clean / self-check passed, 1 findings or self-check
+//! failures reported, 2 usage or I/O error.
 
-use simlint::{render_json, render_text};
+use simlint::{render_json, render_sarif, render_text};
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
 
 struct Args {
     root: PathBuf,
     config: Option<PathBuf>,
-    json: bool,
+    format: Format,
+    self_check: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         root: PathBuf::from("."),
         config: None,
-        json: false,
+        format: Format::Text,
+        self_check: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -32,13 +47,21 @@ fn parse_args() -> Result<Args, String> {
                 args.config = Some(PathBuf::from(it.next().ok_or("--config needs a file")?));
             }
             "--format" => match it.next().as_deref() {
-                Some("json") => args.json = true,
-                Some("text") => args.json = false,
-                other => return Err(format!("--format must be `text` or `json`, got {other:?}")),
+                Some("json") => args.format = Format::Json,
+                Some("text") => args.format = Format::Text,
+                Some("sarif") => args.format = Format::Sarif,
+                other => {
+                    return Err(format!(
+                        "--format must be `text`, `json`, or `sarif`, got {other:?}"
+                    ))
+                }
             },
+            "--self-check" => args.self_check = true,
             "--help" | "-h" => {
                 return Err(
-                    "usage: simlint [--root DIR] [--config FILE] [--format text|json]".to_owned(),
+                    "usage: simlint [--root DIR] [--config FILE] [--format text|json|sarif] \
+                     [--self-check]"
+                        .to_owned(),
                 )
             }
             other => return Err(format!("unknown argument `{other}`")),
@@ -68,12 +91,30 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if args.self_check {
+        return match simlint::selfcheck::self_check(&args.root, &config) {
+            Ok(failures) if failures.is_empty() => {
+                println!("simlint: self-check passed");
+                ExitCode::SUCCESS
+            }
+            Ok(failures) => {
+                for f in &failures {
+                    println!("simlint: self-check FAILED: {f}");
+                }
+                ExitCode::from(1)
+            }
+            Err(msg) => {
+                eprintln!("simlint: {msg}");
+                ExitCode::from(2)
+            }
+        };
+    }
     match simlint::run(&args.root, &config) {
         Ok(diags) => {
-            let rendered = if args.json {
-                render_json(&diags)
-            } else {
-                render_text(&diags)
+            let rendered = match args.format {
+                Format::Json => render_json(&diags),
+                Format::Sarif => render_sarif(&diags),
+                Format::Text => render_text(&diags),
             };
             print!("{rendered}");
             if diags.is_empty() {

@@ -12,12 +12,34 @@
 //!
 //! [allow.D02]
 //! "crates/sim-support/src/bench.rs" = "the bench harness measures wall-clock by design"
+//!
+//! [registry.policy-zoo]
+//! names = "crates/core/src/pipeline.rs#POLICY_NAMES"
+//! kinds = "crates/core/src/policy_kind.rs#PolicyKind"
+//! builder = "crates/core/src/policy_kind.rs#by_name"
+//! dispatch = "crates/core/src/policy_kind.rs#each_kind"
+//! tests = ["tests/storage_differential.rs"]
+//! figures = ["crates/bench/src/figures"]
+//!
+//! [registry.policy-zoo.exempt]
+//! "random" = "control-only policy, deliberately not plotted"
+//!
+//! [hotpath]
+//! functions = [
+//!     "crates/btb/src/storage.rs#find",
+//! ]
 //! ```
 //!
 //! Every `[allow.<RULE>]` entry maps a path *prefix* (workspace-relative,
 //! forward slashes) to a mandatory non-empty reason string — a central
 //! suppression without a justification is a parse error, mirroring the
-//! in-source rule that `simlint: allow(...)` needs `-- reason`.
+//! in-source rule that `simlint: allow(...)` needs `-- reason`. Allow,
+//! exempt, and hotpath entries record their `simlint.toml` line so the
+//! dead-suppression rule (X02) can point at the exact stale entry.
+//!
+//! `[registry.<id>]` legs are `"path#item"` references; `tests` and
+//! `figures` are lists of path prefixes. String arrays may span multiple
+//! lines (one element per line).
 
 use std::collections::BTreeMap;
 
@@ -28,6 +50,63 @@ pub struct PathAllow {
     pub path: String,
     /// Why the rule does not apply there.
     pub reason: String,
+    /// 1-based `simlint.toml` line of the entry (0 for entries built in
+    /// code, e.g. unit tests).
+    pub line: usize,
+}
+
+/// A `"path#item"` reference to one leg of a registry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ItemRef {
+    /// Workspace-relative file path.
+    pub path: String,
+    /// Item name inside that file (const, enum, fn, or macro name).
+    pub item: String,
+}
+
+/// A registry exemption: a member excused from the reference legs
+/// (R04/R05) with a mandatory reason.
+#[derive(Clone, Debug)]
+pub struct RegistryExempt {
+    /// The member's canonical (builder) name, lowercase.
+    pub name: String,
+    pub reason: String,
+    /// 1-based `simlint.toml` line of the entry.
+    pub line: usize,
+}
+
+/// One `[registry.<id>]` section: the legs every member must appear on.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    pub id: String,
+    /// 1-based `simlint.toml` line of the section header.
+    pub line: usize,
+    /// String-array constant listing the canonical names (R01).
+    pub names: Option<ItemRef>,
+    /// Enum whose variants are the members (R02/R03).
+    pub kinds: Option<ItemRef>,
+    /// Function with `"name" => Enum::Variant` arms (R01/R02).
+    pub builder: Option<ItemRef>,
+    /// `macro_rules!` dispatcher whose arms must cover the enum (R03).
+    pub dispatch: Option<ItemRef>,
+    /// Path prefixes of the differential-test leg (R04).
+    pub tests: Vec<String>,
+    /// Path prefixes of the figure-suite leg (R05).
+    pub figures: Vec<String>,
+    /// Members excused from the reference legs.
+    pub exempt: Vec<RegistryExempt>,
+}
+
+/// One `[hotpath]` entry: a function that must stay allocation-free.
+#[derive(Clone, Debug)]
+pub struct HotPathFn {
+    /// Workspace-relative path prefix (a file or a directory).
+    pub path: String,
+    /// Function name; every non-test `fn` with this name under `path` is
+    /// checked.
+    pub func: String,
+    /// 1-based `simlint.toml` line of the entry.
+    pub line: usize,
 }
 
 /// Parsed lint configuration.
@@ -40,6 +119,10 @@ pub struct Config {
     pub exclude: Vec<String>,
     /// Per-rule central allowlists, keyed by rule id.
     pub allows: BTreeMap<String, Vec<PathAllow>>,
+    /// Cross-file registries (R-rules).
+    pub registries: Vec<Registry>,
+    /// Hot-path hygiene targets (P-rules).
+    pub hotpath: Vec<HotPathFn>,
 }
 
 impl Default for Config {
@@ -53,6 +136,8 @@ impl Default for Config {
                 .collect(),
             exclude: Vec::new(),
             allows: BTreeMap::new(),
+            registries: Vec::new(),
+            hotpath: Vec::new(),
         }
     }
 }
@@ -64,11 +149,16 @@ impl Config {
             deterministic_crates: Vec::new(),
             exclude: Vec::new(),
             allows: BTreeMap::new(),
+            registries: Vec::new(),
+            hotpath: Vec::new(),
         };
+        let lines: Vec<&str> = text.lines().collect();
         let mut section = String::new();
-        for (idx, raw) in text.lines().enumerate() {
-            let lineno = idx + 1;
-            let line = strip_comment(raw).trim().to_owned();
+        let mut i = 0usize;
+        while i < lines.len() {
+            let lineno = i + 1;
+            let line = strip_comment(lines[i]).trim().to_owned();
+            i += 1;
             if line.is_empty() {
                 continue;
             }
@@ -77,19 +167,93 @@ impl Config {
                 if section.is_empty() {
                     return Err(format!("simlint.toml:{lineno}: empty section header"));
                 }
+                if let Some(id) = section
+                    .strip_prefix("registry.")
+                    .filter(|rest| !rest.contains('.'))
+                {
+                    if cfg.registry_mut(id).is_none() {
+                        cfg.registries.push(Registry {
+                            id: id.to_owned(),
+                            line: lineno,
+                            ..Registry::default()
+                        });
+                    }
+                }
                 continue;
             }
             let Some((key, value)) = split_key_value(&line) else {
                 return Err(format!("simlint.toml:{lineno}: expected `key = value`"));
             };
+            // Multi-line arrays: `key = [` on one line, one quoted element
+            // per following line, closed by `]`. Elements keep their own
+            // line numbers.
+            let mut elems: Vec<(String, usize)> = Vec::new();
+            let list_value = if value.starts_with('[') && !value.ends_with(']') {
+                let mut open = value.clone();
+                loop {
+                    let Some(raw) = lines.get(i) else {
+                        return Err(format!("simlint.toml:{lineno}: unterminated array"));
+                    };
+                    let el_lineno = i + 1;
+                    let el = strip_comment(raw).trim().to_owned();
+                    i += 1;
+                    for part in el.split(',') {
+                        let part = part.trim().trim_end_matches(']').trim();
+                        if part.starts_with('"') {
+                            elems.push((parse_string(part)?, el_lineno));
+                        }
+                    }
+                    open.push_str(&el);
+                    if el.ends_with(']') {
+                        break;
+                    }
+                }
+                Some(open)
+            } else if value.starts_with('[') {
+                for part in value[1..value.len() - 1].split(',') {
+                    let part = part.trim();
+                    if part.starts_with('"') {
+                        elems.push((parse_string(part)?, lineno));
+                    }
+                }
+                Some(value.clone())
+            } else {
+                None
+            };
+            let string_list = || -> Result<Vec<String>, String> {
+                if list_value.is_none() {
+                    return Err(format!(
+                        "simlint.toml:{lineno}: expected a string array, got `{value}`"
+                    ));
+                }
+                Ok(elems.iter().map(|(s, _)| s.clone()).collect())
+            };
             match section.as_str() {
                 "deterministic" if key == "crates" => {
-                    cfg.deterministic_crates = parse_string_list(&value)
-                        .map_err(|e| format!("simlint.toml:{lineno}: {e}"))?;
+                    cfg.deterministic_crates = string_list()?;
                 }
                 "exclude" if key == "paths" => {
-                    cfg.exclude = parse_string_list(&value)
-                        .map_err(|e| format!("simlint.toml:{lineno}: {e}"))?;
+                    cfg.exclude = string_list()?;
+                }
+                "hotpath" if key == "functions" => {
+                    if list_value.is_none() {
+                        return Err(format!(
+                            "simlint.toml:{lineno}: expected a string array, got `{value}`"
+                        ));
+                    }
+                    for (el, el_line) in &elems {
+                        let (path, func) = split_item_ref(el).ok_or_else(|| {
+                            format!(
+                                "simlint.toml:{el_line}: hotpath entry `{el}` must be \
+                                 `path#function`"
+                            )
+                        })?;
+                        cfg.hotpath.push(HotPathFn {
+                            path,
+                            func,
+                            line: *el_line,
+                        });
+                    }
                 }
                 s if s.starts_with("allow.") => {
                     let rule = s["allow.".len()..].to_owned();
@@ -101,10 +265,71 @@ impl Config {
                              empty reason; every suppression must be justified"
                         ));
                     }
-                    cfg.allows
-                        .entry(rule)
-                        .or_default()
-                        .push(PathAllow { path: key, reason });
+                    cfg.allows.entry(rule).or_default().push(PathAllow {
+                        path: key,
+                        reason,
+                        line: lineno,
+                    });
+                }
+                s if s.starts_with("registry.") && s.ends_with(".exempt") => {
+                    let id = s["registry.".len()..s.len() - ".exempt".len()].to_owned();
+                    let reason =
+                        parse_string(&value).map_err(|e| format!("simlint.toml:{lineno}: {e}"))?;
+                    if reason.trim().is_empty() {
+                        return Err(format!(
+                            "simlint.toml:{lineno}: exempt `{key}` has an empty reason"
+                        ));
+                    }
+                    let Some(reg) = cfg.registry_mut(&id) else {
+                        return Err(format!(
+                            "simlint.toml:{lineno}: exempt for unknown registry `{id}` \
+                             (declare [registry.{id}] first)"
+                        ));
+                    };
+                    reg.exempt.push(RegistryExempt {
+                        name: key.to_lowercase(),
+                        reason,
+                        line: lineno,
+                    });
+                }
+                s if s.starts_with("registry.") => {
+                    let id = s["registry.".len()..].to_owned();
+                    match key.as_str() {
+                        "tests" | "figures" => {
+                            let list = string_list()?;
+                            // justified expect: the section header created it
+                            let reg = cfg.registry_mut(&id).expect("registry exists");
+                            if key == "tests" {
+                                reg.tests = list;
+                            } else {
+                                reg.figures = list;
+                            }
+                        }
+                        "names" | "kinds" | "builder" | "dispatch" => {
+                            let raw = parse_string(&value)
+                                .map_err(|e| format!("simlint.toml:{lineno}: {e}"))?;
+                            let (path, item) = split_item_ref(&raw).ok_or_else(|| {
+                                format!(
+                                    "simlint.toml:{lineno}: `{key}` must be `path#item`, \
+                                     got `{raw}`"
+                                )
+                            })?;
+                            let item_ref = ItemRef { path, item };
+                            // justified expect: the section header created it
+                            let reg = cfg.registry_mut(&id).expect("registry exists");
+                            match key.as_str() {
+                                "names" => reg.names = Some(item_ref),
+                                "kinds" => reg.kinds = Some(item_ref),
+                                "builder" => reg.builder = Some(item_ref),
+                                _ => reg.dispatch = Some(item_ref),
+                            }
+                        }
+                        other => {
+                            return Err(format!(
+                                "simlint.toml:{lineno}: unknown registry key `{other}`"
+                            ));
+                        }
+                    }
                 }
                 other => {
                     return Err(format!(
@@ -114,6 +339,10 @@ impl Config {
             }
         }
         Ok(cfg)
+    }
+
+    fn registry_mut(&mut self, id: &str) -> Option<&mut Registry> {
+        self.registries.iter_mut().find(|r| r.id == id)
     }
 
     /// Whether `rel_path` lives in a deterministic crate (`crates/<name>/…`).
@@ -139,12 +368,21 @@ impl Config {
 /// Prefix match on path components: `crates/bench` covers
 /// `crates/bench/src/grid.rs` but not `crates/bench2/...`; exact file
 /// paths match themselves.
-fn path_prefix(rel_path: &str, prefix: &str) -> bool {
+pub(crate) fn path_prefix(rel_path: &str, prefix: &str) -> bool {
     let prefix = prefix.trim_end_matches('/');
     rel_path == prefix
         || rel_path
             .strip_prefix(prefix)
             .is_some_and(|rest| rest.starts_with('/'))
+}
+
+/// Splits a `"path#item"` reference.
+fn split_item_ref(s: &str) -> Option<(String, String)> {
+    let (path, item) = s.split_once('#')?;
+    if path.is_empty() || item.is_empty() {
+        return None;
+    }
+    Some((path.to_owned(), item.to_owned()))
 }
 
 /// Drops a trailing `#` comment that is not inside a quoted string.
@@ -194,23 +432,6 @@ fn parse_string(value: &str) -> Result<String, String> {
     Ok(inner.replace("\\\"", "\""))
 }
 
-/// Parses `["a", "b"]`.
-fn parse_string_list(value: &str) -> Result<Vec<String>, String> {
-    let inner = value
-        .strip_prefix('[')
-        .and_then(|r| r.strip_suffix(']'))
-        .ok_or_else(|| format!("expected a string array, got `{value}`"))?;
-    let mut out = Vec::new();
-    for item in inner.split(',') {
-        let item = item.trim();
-        if item.is_empty() {
-            continue;
-        }
-        out.push(parse_string(item)?);
-    }
-    Ok(out)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,6 +461,61 @@ paths = ["crates/simlint/tests/fixtures"]
         assert!(cfg.is_path_allowed("D02", "crates/sim-support/src/bench.rs"));
         assert!(!cfg.is_path_allowed("D02", "crates/sim-support/src/pool.rs"));
         assert!(cfg.is_path_allowed("D03", "crates/sim-support/src/pool.rs"));
+    }
+
+    #[test]
+    fn allow_entries_record_their_lines() {
+        let cfg = Config::parse(SAMPLE).unwrap();
+        let d02 = &cfg.allows["D02"][0];
+        assert_eq!(d02.line, 10, "1-based line of the entry");
+    }
+
+    #[test]
+    fn registry_sections_parse() {
+        let toml = r#"
+[registry.zoo]
+names = "crates/core/src/pipeline.rs#POLICY_NAMES"
+kinds = "crates/core/src/policy_kind.rs#PolicyKind"
+builder = "crates/core/src/policy_kind.rs#by_name"
+dispatch = "crates/core/src/policy_kind.rs#each_kind"
+tests = ["tests/storage_differential.rs", "tests/policy_differential.rs"]
+figures = ["crates/bench/src/figures"]
+
+[registry.zoo.exempt]
+"random" = "not plotted"
+"#;
+        let cfg = Config::parse(toml).unwrap();
+        assert_eq!(cfg.registries.len(), 1);
+        let reg = &cfg.registries[0];
+        assert_eq!(reg.id, "zoo");
+        assert_eq!(
+            reg.names,
+            Some(ItemRef {
+                path: "crates/core/src/pipeline.rs".into(),
+                item: "POLICY_NAMES".into()
+            })
+        );
+        assert_eq!(reg.tests.len(), 2);
+        assert_eq!(reg.exempt[0].name, "random");
+        assert!(reg.exempt[0].line > 0);
+    }
+
+    #[test]
+    fn hotpath_multiline_array_keeps_entry_lines() {
+        let toml = "[hotpath]\nfunctions = [\n    \"crates/btb/src/storage.rs#find\",\n    \"crates/btb/src/policies#choose_victim\",\n]\n";
+        let cfg = Config::parse(toml).unwrap();
+        assert_eq!(cfg.hotpath.len(), 2);
+        assert_eq!(cfg.hotpath[0].path, "crates/btb/src/storage.rs");
+        assert_eq!(cfg.hotpath[0].func, "find");
+        assert_eq!(cfg.hotpath[0].line, 3);
+        assert_eq!(cfg.hotpath[1].line, 4);
+    }
+
+    #[test]
+    fn malformed_item_refs_are_rejected() {
+        assert!(Config::parse("[registry.z]\nnames = \"no-hash\"\n").is_err());
+        assert!(Config::parse("[hotpath]\nfunctions = [\"no-hash\"]\n").is_err());
+        assert!(Config::parse("[registry.z.exempt]\n\"x\" = \"r\"\n").is_err());
     }
 
     #[test]

@@ -1,5 +1,6 @@
-//! Diagnostics and their two output formats: human-readable text
-//! (`file:line:col: rule: message`) and machine-readable JSON for CI.
+//! Diagnostics and their output formats: human-readable text
+//! (`file:line:col: rule: message`), machine-readable JSON for CI, and
+//! SARIF 2.1.0 for code-scanning UIs.
 
 use std::fmt::Write as _;
 
@@ -68,6 +69,58 @@ pub fn render_json(diags: &[Diagnostic]) -> String {
     out
 }
 
+/// Renders diagnostics as a SARIF 2.1.0 log (one run, tool `simlint`).
+/// Rule metadata covers every known rule id so `ruleIndex` is stable
+/// across runs regardless of which rules fired.
+pub fn render_sarif(diags: &[Diagnostic]) -> String {
+    let rules = crate::rules::RULE_DESCRIPTIONS;
+    let mut out = String::from(
+        "{\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/\
+         Schemata/sarif-schema-2.1.0.json\",\"version\":\"2.1.0\",\"runs\":[{\"tool\":\
+         {\"driver\":{\"name\":\"simlint\",\"informationUri\":\
+         \"https://example.invalid/simlint\",\"rules\":[",
+    );
+    for (i, (id, desc)) in rules.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"id\":{},\"shortDescription\":{{\"text\":{}}}}}",
+            json_str(id),
+            json_str(desc)
+        );
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let rule_index = rules
+            .iter()
+            .position(|(id, _)| *id == d.rule)
+            .map(|p| p as isize)
+            .unwrap_or(-1);
+        let _ = write!(
+            out,
+            "{{\"ruleId\":{},\"ruleIndex\":{},\"level\":\"error\",\"message\":{{\"text\":{}}},\
+             \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":{}}},\
+             \"region\":{{\"startLine\":{},\"startColumn\":{}}}}}}}],\"fixes\":[{{\
+             \"description\":{{\"text\":{}}}}}]}}",
+            json_str(d.rule),
+            rule_index,
+            json_str(&d.message),
+            json_str(&d.file),
+            d.line,
+            d.col,
+            json_str(&d.fix)
+        );
+    }
+    let _ = write!(out, "]}}]}}");
+    out.push('\n');
+    out
+}
+
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
 fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
@@ -111,6 +164,22 @@ mod tests {
         assert!(t.contains("fix: move timing"));
         assert!(t.contains("1 finding(s)"));
         assert!(render_text(&[]).contains("clean"));
+    }
+
+    #[test]
+    fn sarif_names_the_rule_and_location() {
+        let s = render_sarif(&[sample()]);
+        assert!(s.contains("\"version\":\"2.1.0\""));
+        assert!(s.contains("\"ruleId\":\"D02\""));
+        assert!(s.contains("\"uri\":\"crates/x/src/lib.rs\""));
+        assert!(s.contains("\"startLine\":3"));
+        assert!(s.contains("\"name\":\"simlint\""));
+        // Rule metadata is always present, findings or not.
+        let empty = render_sarif(&[]);
+        assert!(empty.contains("\"results\":[]"));
+        assert!(empty.contains("\"id\":\"R01\""));
+        assert!(empty.contains("\"id\":\"P03\""));
+        assert!(empty.contains("\"id\":\"X02\""));
     }
 
     #[test]

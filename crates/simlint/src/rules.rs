@@ -1,4 +1,4 @@
-//! The lint rules.
+//! The per-file lint rules.
 //!
 //! | rule | meaning |
 //! |------|---------|
@@ -11,26 +11,86 @@
 //! | S03  | `catch_unwind` outside the fault-isolation layer |
 //! | X01  | malformed `simlint: allow` (missing `-- reason`) |
 //!
-//! Every rule honours in-source suppressions of the form
-//! `// simlint: allow(Dxx) -- reason` and the central path allowlists
-//! from `simlint.toml`; X01 is the meta-rule and cannot be suppressed.
+//! The cross-file rules (R01–R05, P01–P04, X02) live in
+//! [`crate::rules_xfile`] and the engine in `lib.rs`. Every rule honours
+//! in-source suppressions of the form `// simlint: allow(Dxx) -- reason`
+//! and the central path allowlists from `simlint.toml`; X01 and X02 are
+//! the meta-rules and cannot be suppressed.
 
 use crate::config::Config;
 use crate::diag::Diagnostic;
 use crate::scan::{find_word, find_word_prefix, Scanned};
 
-/// Runs every rule over one scanned file. `rel_path` is
+/// One-line descriptions of every rule id, for the SARIF rule table and
+/// the README.
+pub const RULE_DESCRIPTIONS: [(&str, &str); 18] = [
+    (
+        "D01",
+        "default-hasher HashMap/HashSet in a deterministic crate",
+    ),
+    ("D02", "wall-clock time source in simulator code"),
+    ("D03", "ad-hoc concurrency outside the deterministic pool"),
+    ("D04", "environment-variable read outside documented knobs"),
+    ("S01", "unsafe without a SAFETY: comment"),
+    ("S02", "#[allow(...)] without a justification comment"),
+    ("S03", "catch_unwind outside the fault-isolation layer"),
+    ("X01", "malformed simlint suppression (missing -- reason)"),
+    ("X02", "dead suppression: matched zero diagnostics this run"),
+    ("R01", "registry name list and builder arms disagree"),
+    ("R02", "registry builder arms and enum variants disagree"),
+    (
+        "R03",
+        "registry enum variants and dispatch-macro arms disagree",
+    ),
+    (
+        "R04",
+        "registry member not exercised by the differential-test leg",
+    ),
+    (
+        "R05",
+        "registry member not referenced by the figure-suite leg",
+    ),
+    ("P01", "heap allocation in a [hotpath] function"),
+    ("P02", "panicking call in a [hotpath] function"),
+    (
+        "P03",
+        "panicking (unchecked) indexing in a [hotpath] function",
+    ),
+    ("P04", "dyn dispatch in a [hotpath] function"),
+];
+
+/// The one-line description for a rule id (empty for unknown ids).
+pub fn rule_description(rule: &str) -> &'static str {
+    RULE_DESCRIPTIONS
+        .iter()
+        .find(|(id, _)| *id == rule)
+        .map(|(_, d)| *d)
+        .unwrap_or("")
+}
+
+/// Collects the raw (pre-suppression) per-file diagnostics. The engine in
+/// `lib.rs` applies suppression filtering itself so it can track which
+/// suppressions were used (rule X02); [`lint_scanned`] applies it inline.
+pub(crate) fn raw_file_rules(
+    rel_path: &str,
+    scanned: &Scanned,
+    config: &Config,
+    raw: &mut Vec<Diagnostic>,
+) {
+    rule_d01(rel_path, scanned, config, raw);
+    rule_d02(rel_path, scanned, raw);
+    rule_d03(rel_path, scanned, raw);
+    rule_d04(rel_path, scanned, raw);
+    rule_s01(rel_path, scanned, raw);
+    rule_s02(rel_path, scanned, raw);
+    rule_s03(rel_path, scanned, raw);
+}
+
+/// Runs every per-file rule over one scanned file. `rel_path` is
 /// workspace-relative with forward slashes.
 pub fn lint_scanned(rel_path: &str, scanned: &Scanned, config: &Config) -> Vec<Diagnostic> {
     let mut raw: Vec<Diagnostic> = Vec::new();
-
-    rule_d01(rel_path, scanned, config, &mut raw);
-    rule_d02(rel_path, scanned, &mut raw);
-    rule_d03(rel_path, scanned, &mut raw);
-    rule_d04(rel_path, scanned, &mut raw);
-    rule_s01(rel_path, scanned, &mut raw);
-    rule_s02(rel_path, scanned, &mut raw);
-    rule_s03(rel_path, scanned, &mut raw);
+    raw_file_rules(rel_path, scanned, config, &mut raw);
 
     let mut out: Vec<Diagnostic> = raw
         .into_iter()
@@ -263,7 +323,7 @@ fn rule_s03(rel_path: &str, scanned: &Scanned, out: &mut Vec<Diagnostic>) {
 
 /// X01: a `simlint: allow` comment that is missing its `-- reason` (or an
 /// intelligible rule list). Such comments also do not suppress anything.
-fn rule_x01(rel_path: &str, scanned: &Scanned, out: &mut Vec<Diagnostic>) {
+pub(crate) fn rule_x01(rel_path: &str, scanned: &Scanned, out: &mut Vec<Diagnostic>) {
     const FIX: &str = "write `// simlint: allow(RULE, ...) -- reason`; the reason is mandatory";
     for s in &scanned.suppressions {
         if s.reason.is_none() || s.rules.is_empty() {
@@ -372,6 +432,7 @@ mod tests {
             .push(crate::config::PathAllow {
                 path: "crates/sim-support/src/fault.rs".to_owned(),
                 reason: "the fault-isolation layer".to_owned(),
+                line: 0,
             });
         assert!(lint_scanned("crates/sim-support/src/fault.rs", &scan(src), &cfg).is_empty());
     }
@@ -402,6 +463,7 @@ mod tests {
             .push(crate::config::PathAllow {
                 path: "crates/bench/src/grid.rs".to_owned(),
                 reason: "timing harness".to_owned(),
+                line: 0,
             });
         let src = "let t = Instant::now();\n";
         assert!(lint_scanned("crates/bench/src/grid.rs", &scan(src), &cfg).is_empty());

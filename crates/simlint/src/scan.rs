@@ -65,7 +65,14 @@ impl Scanned {
     /// comment-only suppression line also covers the next line, so it can
     /// sit above the offending statement.
     pub fn is_suppressed(&self, rule: &str, line: usize) -> bool {
-        self.suppressions.iter().any(|s| {
+        self.suppression_covering(rule, line).is_some()
+    }
+
+    /// Index (into [`Scanned::suppressions`]) of the suppression covering a
+    /// diagnostic of `rule` on 1-based `line`, if any. The engine uses the
+    /// index to track which suppressions actually fired (rule X02).
+    pub fn suppression_covering(&self, rule: &str, line: usize) -> Option<usize> {
+        self.suppressions.iter().position(|s| {
             if !s.rules.iter().any(|r| r == rule) || s.reason.is_none() {
                 return false;
             }
@@ -300,6 +307,12 @@ pub const ALLOW_MARKER: &str = "simlint: allow(";
 fn parse_suppressions(lines: &[Line]) -> Vec<Suppression> {
     let mut out = Vec::new();
     for (idx, line) in lines.iter().enumerate() {
+        // Doc comments describe the suppression syntax, they do not use
+        // it — otherwise every doc example would register as a (dead)
+        // suppression under X02.
+        if line.doc_comment {
+            continue;
+        }
         let Some(start) = line.comment.find(ALLOW_MARKER) else {
             continue;
         };
@@ -441,6 +454,16 @@ mod tests {
         let s = scan("use x::Mutex; // simlint: allow(D03)\n");
         assert_eq!(s.suppressions[0].reason, None);
         assert!(!s.is_suppressed("D03", 1));
+    }
+
+    #[test]
+    fn doc_comment_examples_are_not_suppressions() {
+        let s = scan(
+            "/// In-source escape hatch: `// simlint: allow(D03) -- reason`.\nuse x::Mutex;\n",
+        );
+        assert!(s.suppressions.is_empty(), "{:?}", s.suppressions);
+        let t = scan("//! // simlint: allow(D02) -- doc example\n");
+        assert!(t.suppressions.is_empty());
     }
 
     #[test]

@@ -1,0 +1,4 @@
+//! P01 clean: allocation-free hot path.
+fn hot(xs: &[u64]) -> u64 {
+    xs.iter().sum()
+}

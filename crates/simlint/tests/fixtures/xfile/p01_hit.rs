@@ -1,0 +1,5 @@
+//! P01 hit: per-access heap allocation in a hot-path function.
+fn hot(xs: &[u64]) -> u64 {
+    let v: Vec<u64> = xs.to_vec();
+    v.len() as u64
+}

@@ -1,0 +1,6 @@
+//! P01 suppressed: the allocation carries a justified in-source allow.
+fn hot(xs: &[u64]) -> u64 {
+    // simlint: allow(P01) -- fixture: one-time copy amortized by caller
+    let v: Vec<u64> = xs.to_vec();
+    v.len() as u64
+}

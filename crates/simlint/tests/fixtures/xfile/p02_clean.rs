@@ -1,0 +1,4 @@
+//! P02 clean: the invariant is explicit without a panic path.
+fn hot(x: Option<u64>) -> u64 {
+    x.unwrap_or(0)
+}

@@ -1,0 +1,4 @@
+//! P02 hit: panicking call in a hot-path function.
+fn hot(x: Option<u64>) -> u64 {
+    x.unwrap()
+}

@@ -1,0 +1,5 @@
+//! P02 suppressed: the panic site carries a justified in-source allow.
+fn hot(x: Option<u64>) -> u64 {
+    // simlint: allow(P02) -- fixture: caller guarantees Some (asserted)
+    x.unwrap()
+}

@@ -1,0 +1,4 @@
+//! P03 clean: checked indexing only.
+fn hot(xs: &[u64], i: usize) -> u64 {
+    xs.get(i).copied().unwrap_or(0)
+}

@@ -1,0 +1,4 @@
+//! P03 hit: unchecked indexing in a hot-path function.
+fn hot(xs: &[u64], i: usize) -> u64 {
+    xs[i]
+}

@@ -1,0 +1,5 @@
+//! P03 suppressed: the indexing site carries a justified in-source allow.
+fn hot(xs: &[u64], i: usize) -> u64 {
+    // simlint: allow(P03) -- fixture: i < xs.len() asserted on entry
+    xs[i]
+}

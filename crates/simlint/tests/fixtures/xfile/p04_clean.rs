@@ -1,0 +1,4 @@
+//! P04 clean: static dispatch via a generic bound.
+fn hot<P: Policy>(p: &P, set: usize) -> usize {
+    p.victim(set)
+}

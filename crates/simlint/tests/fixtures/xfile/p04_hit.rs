@@ -1,0 +1,4 @@
+//! P04 hit: dynamic dispatch in a hot-path function.
+fn hot(p: &dyn Policy, set: usize) -> usize {
+    p.victim(set)
+}

@@ -1,0 +1,5 @@
+//! P04 suppressed: the trait object carries a justified in-source allow.
+// simlint: allow(P04) -- fixture: heterogeneous fallback path, measured cold
+fn hot(p: &dyn Policy, set: usize) -> usize {
+    p.victim(set)
+}

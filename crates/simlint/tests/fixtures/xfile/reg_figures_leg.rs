@@ -1,0 +1,4 @@
+//! Figure-suite leg: references every member by display string.
+fn figures() {
+    plot("LRU", "FIFO", "Ghost");
+}

@@ -1,0 +1,4 @@
+//! Thin figure-suite leg: plots only `lru` (R05 hit for fifo).
+fn figures() {
+    plot("LRU");
+}

@@ -1,0 +1,27 @@
+//! R01 suppressed: the drifted name carries a justified in-source allow.
+// simlint: allow(R01) -- fixture: ghost is being wired up in a follow-up
+pub const NAMES: [&str; 3] = ["lru", "fifo", "ghost"];
+
+pub enum Kind {
+    Lru(Lru),
+    Fifo(Fifo),
+}
+
+macro_rules! each {
+    ($s:expr, $p:ident => $b:expr) => {
+        match $s {
+            Kind::Lru($p) => $b,
+            Kind::Fifo($p) => $b,
+        }
+    };
+}
+
+impl Kind {
+    pub fn by_name(n: &str) -> Option<Self> {
+        Some(match n {
+            "lru" => Self::Lru(Lru::new()),
+            "fifo" => Self::Fifo(Fifo::new()),
+            _ => return None,
+        })
+    }
+}

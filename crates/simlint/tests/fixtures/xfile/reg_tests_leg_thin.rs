@@ -1,0 +1,4 @@
+//! Thin differential-test leg: exercises only `lru` (R04 hit for fifo).
+fn battery() {
+    let _ = Lru::new();
+}

@@ -1,0 +1,2 @@
+//! X02 clean: the suppression still absorbs a live finding.
+use std::sync::Mutex; // simlint: allow(D03) -- fixture: serializes test output

@@ -18,8 +18,13 @@ cargo fmt --all --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> simlint (determinism & safety rules)"
+echo "==> simlint (determinism, safety, registry & hot-path rules)"
 cargo run -p simlint --release -- --format json
+mkdir -p results
+cargo run -p simlint --release -- --format sarif > results/simlint.sarif
+
+echo "==> simlint --self-check (seeded-mutation battery)"
+cargo run -p simlint --release -- --self-check
 
 echo "==> cargo build --release"
 cargo build --workspace --release

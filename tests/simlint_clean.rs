@@ -21,6 +21,41 @@ fn workspace_is_lint_clean() {
 }
 
 #[test]
+fn deleting_a_policy_from_one_registry_leg_fails_the_lint() {
+    // The R-rules' reason to exist: un-wire one leg of a real zoo member
+    // (in memory — the tree is untouched) and the registry must drift
+    // loudly. If this test fails, a policy can be half-removed silently.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let config = simlint::load_config(&root).expect("simlint.toml parses");
+    let mut files = simlint::load_files(&root, &config).expect("workspace walk succeeds");
+    let pipeline = files
+        .iter_mut()
+        .find(|f| f.rel == "crates/core/src/pipeline.rs")
+        .expect("names leg is in the walk");
+    assert!(pipeline.text.contains("\"trrip\","), "zoo member present");
+    pipeline.text = pipeline.text.replace("\"trrip\",", "");
+    let diags = simlint::analyze(&files, &config);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.rule == "R01" && d.message.contains("\"trrip\"")),
+        "dropping trrip from POLICY_NAMES must trip R01:\n{}",
+        simlint::render_text(&diags)
+    );
+}
+
+#[test]
+fn self_check_battery_passes_on_the_real_workspace() {
+    // The seeded-mutation battery (simlint --self-check) must hold against
+    // the checked-in tree: baseline clean, and every seeded defect caught
+    // by exactly the expected rules.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let config = simlint::load_config(&root).expect("simlint.toml parses");
+    let failures = simlint::selfcheck::self_check(&root, &config).expect("workspace walk succeeds");
+    assert!(failures.is_empty(), "self-check failures: {failures:#?}");
+}
+
+#[test]
 fn policy_zoo_additions_are_lint_clean() {
     // Fixture-style pin on the sources added with the TRRIP + multilevel
     // hierarchy work: each must pass the determinism/safety rules on its
