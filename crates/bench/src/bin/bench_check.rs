@@ -30,8 +30,9 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Suites guarded by default: the two hot-loop benches the repo's perf
-/// targets are stated against.
-const DEFAULT_SUITES: &[&str] = &["btb_policies", "frontend"];
+/// targets are stated against, plus the hint server's loopback mixed-load
+/// suite (`hintload` writes it; `scripts/bench_check.sh` runs the server).
+const DEFAULT_SUITES: &[&str] = &["btb_policies", "frontend", "hintd"];
 const DEFAULT_TOLERANCE_PCT: f64 = 15.0;
 /// Benchmarks recorded for observability but not guarded: end-to-end
 /// wall-clock of a whole thread-pool grid run carries several times the

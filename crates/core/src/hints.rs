@@ -100,6 +100,13 @@ impl HintTable {
         hist
     }
 
+    /// Iterates `(pc, hint)` pairs in ascending PC order — the
+    /// deterministic ordering every serialized form of the table (wire
+    /// frames, table dumps) is defined over.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u8)> + '_ {
+        self.hints.iter().map(|(&pc, &h)| (pc, h))
+    }
+
     /// Exposes the table as the seeded lookup map the frontend consumes
     /// (hot per-branch lookups, never iterated).
     pub fn to_map(&self) -> DetHashMap<u64, u8> {

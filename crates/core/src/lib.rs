@@ -50,6 +50,7 @@
 pub mod accuracy;
 pub mod analysis;
 pub mod hints;
+pub mod incremental;
 pub mod pipeline;
 pub mod policy;
 pub mod policy_kind;
@@ -57,6 +58,7 @@ pub mod profile;
 pub mod temperature;
 
 pub use hints::HintTable;
+pub use incremental::IncrementalProfiler;
 pub use pipeline::{Pipeline, PipelineConfig};
 pub use policy::{HolisticOnly, ThermometerNoBypass, ThermometerPolicy};
 pub use policy_kind::PolicyKind;

@@ -36,6 +36,16 @@ impl BranchCounters {
         }
     }
 
+    /// Adds another measurement window's counters onto this branch's —
+    /// counters are plain sums, so merging is associative and
+    /// order-insensitive.
+    pub fn merge(&mut self, other: &BranchCounters) {
+        self.taken += other.taken;
+        self.opt_hits += other.opt_hits;
+        self.inserts += other.inserts;
+        self.bypasses += other.bypasses;
+    }
+
     /// Fraction of this branch's misses that were bypassed (Fig. 9).
     pub fn bypass_ratio(&self) -> f64 {
         let misses = self.inserts + self.bypasses;
@@ -114,6 +124,31 @@ impl OptProfile {
             config: Some(config),
             accesses: oracle.len() as u64,
         }
+    }
+
+    /// Folds another profile's counters into this one (per-branch sums).
+    ///
+    /// The geometry must match: temperature is BTB-size-specific (§3.4), so
+    /// merging profiles measured against different configurations would
+    /// produce a number with no physical meaning.
+    ///
+    /// # Panics
+    ///
+    /// Panics when both profiles carry a config and the configs differ.
+    pub fn merge(&mut self, other: &OptProfile) {
+        if let (Some(a), Some(b)) = (&self.config, &other.config) {
+            assert_eq!(
+                a, b,
+                "merging OPT profiles measured against different BTB geometries"
+            );
+        }
+        if self.config.is_none() {
+            self.config = other.config;
+        }
+        for (&pc, counters) in &other.branches {
+            self.branches.entry(pc).or_default().merge(counters);
+        }
+        self.accesses += other.accesses;
     }
 
     /// Hit-to-taken ratio of a branch; `None` when it never appeared.

@@ -509,7 +509,191 @@ impl Corruption {
     }
 }
 
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// One deterministic network fault, injected at a codec boundary (the
+/// length-prefixed frame layer of `hintd` and anything else that ships
+/// byte frames over a stream). Each variant models a concrete wire
+/// failure; [`NetFaultKind::class`] maps it onto the transient/poison/fatal
+/// taxonomy so client retry loops classify wire errors exactly the way
+/// [`crate::pool::ThreadPool::try_par_map`] classifies cell failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NetFaultKind {
+    /// The frame is silently discarded: never written to the stream. The
+    /// sender observes a missing response (read timeout / closed stream).
+    Drop,
+    /// The frame is delivered after a deterministic delay of `ms`
+    /// milliseconds — long enough to trip read deadlines and the
+    /// idle-connection reaper when configured above them.
+    Delay {
+        /// Injected delay, milliseconds (capped at parse time).
+        ms: u64,
+    },
+    /// Only the first `offset` bytes of the frame reach the stream; the
+    /// connection is then unusable mid-frame (the receiver sees a torn
+    /// length-prefixed frame and must drop the connection).
+    Truncate {
+        /// Bytes delivered before the cut.
+        offset: usize,
+    },
+    /// One byte of the frame is XORed with `xor` — a bit-level corruption
+    /// the receiver's decoder must reject rather than act on.
+    Garble {
+        /// Byte offset (taken modulo the frame length by appliers).
+        offset: usize,
+        /// XOR mask applied to the byte (0 is rejected at parse time).
+        xor: u8,
+    },
+}
+
+impl NetFaultKind {
+    /// Taxonomy mapping. Every wire-level fault is [`FaultClass::Transient`]
+    /// from the sender's perspective: resending the frame (on a fresh
+    /// connection where the stream state is torn) heals it, exactly like an
+    /// injected I/O flake. Spec entries may override the class (e.g. to
+    /// test that a poison-classified failure is *not* retried).
+    pub fn class(self) -> FaultClass {
+        FaultClass::Transient
+    }
+
+    /// Lower-case spec name.
+    pub fn name(self) -> &'static str {
+        match self {
+            NetFaultKind::Drop => "drop",
+            NetFaultKind::Delay { .. } => "delay",
+            NetFaultKind::Truncate { .. } => "trunc",
+            NetFaultKind::Garble { .. } => "garble",
+        }
+    }
+}
+
+/// A planned network fault: fires on exactly one `(connection, operation)`
+/// site, with an explicit taxonomy class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NetFault {
+    /// What happens to the frame.
+    pub kind: NetFaultKind,
+    /// How the sender's retry logic should treat the resulting failure.
+    pub class: FaultClass,
+}
+
+/// A deterministic network fault plan: a set of [`NetFault`]s addressed by
+/// `(connection id, operation index)`. Like [`FaultPlan`], every decision
+/// is a pure function of the plan and the site, so a faulty exchange is
+/// exactly replayable.
+///
+/// # Spec grammar
+///
+/// Comma-separated entries `CONN:OP:KIND[:ARGS][:CLASS]`:
+///
+/// | entry | meaning |
+/// |-------|---------|
+/// | `C:O:drop`          | frame `O` on connection `C` is discarded |
+/// | `C:O:delay:MS`      | frame delayed `MS` ms (capped at 10 000) |
+/// | `C:O:trunc:N`       | only the first `N` bytes are delivered |
+/// | `C:O:garble:N:X`    | byte `N` (mod frame len) XORed with `X` |
+///
+/// `CLASS` (`transient`/`poison`/`fatal`) optionally overrides the default
+/// transient classification, e.g. `0:1:drop:poison`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NetFaultPlan {
+    entries: Vec<(u64, u64, NetFault)>,
+}
+
+/// Upper bound accepted for `delay` entries: fault plans must never make a
+/// test hang for minutes on a typo.
+const MAX_NET_DELAY_MS: u64 = 10_000;
+
+impl NetFaultPlan {
+    /// Parses the spec grammar above. An empty spec is an empty plan.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = NetFaultPlan::default();
+        for entry in spec.split(',').filter(|e| !e.trim().is_empty()) {
+            let parts: Vec<&str> = entry.trim().split(':').collect();
+            if parts.len() < 3 {
+                return Err(format!("net-fault entry {entry:?} wants CONN:OP:KIND"));
+            }
+            let conn: u64 = parts[0]
+                .parse()
+                .map_err(|_| format!("net-fault {entry:?}: bad connection id"))?;
+            let op: u64 = parts[1]
+                .parse()
+                .map_err(|_| format!("net-fault {entry:?}: bad operation index"))?;
+            let (kind, consumed) = match parts[2] {
+                "drop" => (NetFaultKind::Drop, 3),
+                "delay" => {
+                    let ms: u64 = parts
+                        .get(3)
+                        .ok_or_else(|| format!("net-fault {entry:?}: delay wants :MS"))?
+                        .parse()
+                        .map_err(|_| format!("net-fault {entry:?}: bad delay"))?;
+                    if ms > MAX_NET_DELAY_MS {
+                        return Err(format!(
+                            "net-fault {entry:?}: delay {ms} ms exceeds the {MAX_NET_DELAY_MS} ms cap"
+                        ));
+                    }
+                    (NetFaultKind::Delay { ms }, 4)
+                }
+                "trunc" => {
+                    let offset: usize = parts
+                        .get(3)
+                        .ok_or_else(|| format!("net-fault {entry:?}: trunc wants :N"))?
+                        .parse()
+                        .map_err(|_| format!("net-fault {entry:?}: bad truncate offset"))?;
+                    (NetFaultKind::Truncate { offset }, 4)
+                }
+                "garble" => {
+                    let offset: usize = parts
+                        .get(3)
+                        .ok_or_else(|| format!("net-fault {entry:?}: garble wants :N:X"))?
+                        .parse()
+                        .map_err(|_| format!("net-fault {entry:?}: bad garble offset"))?;
+                    let xor: u8 = parts
+                        .get(4)
+                        .ok_or_else(|| format!("net-fault {entry:?}: garble wants :N:X"))?
+                        .parse()
+                        .map_err(|_| format!("net-fault {entry:?}: bad garble mask"))?;
+                    if xor == 0 {
+                        return Err(format!("net-fault {entry:?}: garble mask 0 is a no-op"));
+                    }
+                    (NetFaultKind::Garble { offset, xor }, 5)
+                }
+                other => return Err(format!("unknown net-fault kind {other:?}")),
+            };
+            let class = match parts.get(consumed) {
+                Some(name) => FaultClass::parse(name)?,
+                None => kind.class(),
+            };
+            if parts.len() > consumed + 1 {
+                return Err(format!("net-fault {entry:?}: trailing fields"));
+            }
+            plan.entries.push((conn, op, NetFault { kind, class }));
+        }
+        Ok(plan)
+    }
+
+    /// The fault planned for operation `op` on connection `conn`, if any —
+    /// a pure function of the plan and the site. The first matching entry
+    /// wins, mirroring `FaultPlan::cell_fault`.
+    pub fn fault_at(&self, conn: u64, op: u64) -> Option<NetFault> {
+        self.entries
+            .iter()
+            .find(|(c, o, _)| *c == conn && *o == op)
+            .map(|(_, _, fault)| *fault)
+    }
+
+    /// Whether the plan has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of planned faults.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// FNV-1a over a byte string; the workspace's standard cheap stable hash
+/// (fault-site draws here, shard selection in `hintd`).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         hash ^= u64::from(b);
@@ -644,6 +828,68 @@ mod tests {
         );
         clear();
         assert!(io_fault("results/grid_stats.json").is_none(), "no plan");
+    }
+
+    #[test]
+    fn net_fault_plan_round_trips_the_grammar() {
+        let plan = NetFaultPlan::parse("0:2:drop,1:0:delay:250,1:3:trunc:7,2:1:garble:5:255")
+            .expect("valid spec");
+        assert_eq!(plan.len(), 4);
+        assert_eq!(
+            plan.fault_at(0, 2),
+            Some(NetFault {
+                kind: NetFaultKind::Drop,
+                class: FaultClass::Transient,
+            })
+        );
+        assert_eq!(
+            plan.fault_at(1, 0).map(|f| f.kind),
+            Some(NetFaultKind::Delay { ms: 250 })
+        );
+        assert_eq!(
+            plan.fault_at(1, 3).map(|f| f.kind),
+            Some(NetFaultKind::Truncate { offset: 7 })
+        );
+        assert_eq!(
+            plan.fault_at(2, 1).map(|f| f.kind),
+            Some(NetFaultKind::Garble {
+                offset: 5,
+                xor: 255
+            })
+        );
+        assert_eq!(plan.fault_at(0, 0), None, "unplanned site is clean");
+        assert!(NetFaultPlan::parse("").unwrap().is_empty());
+
+        assert!(NetFaultPlan::parse("0:drop").is_err(), "missing op");
+        assert!(NetFaultPlan::parse("0:0:warp").is_err(), "unknown kind");
+        assert!(NetFaultPlan::parse("0:0:delay").is_err(), "delay wants ms");
+        assert!(
+            NetFaultPlan::parse("0:0:delay:99999").is_err(),
+            "delay cap enforced"
+        );
+        assert!(
+            NetFaultPlan::parse("0:0:garble:1:0").is_err(),
+            "no-op garble rejected"
+        );
+        assert!(
+            NetFaultPlan::parse("0:0:drop:poison:x").is_err(),
+            "trailing fields rejected"
+        );
+    }
+
+    #[test]
+    fn net_fault_class_defaults_transient_and_overrides_parse() {
+        for spec in ["7:0:drop", "7:0:delay:1", "7:0:trunc:0", "7:0:garble:0:1"] {
+            let plan = NetFaultPlan::parse(spec).unwrap();
+            assert_eq!(
+                plan.fault_at(7, 0).unwrap().class,
+                FaultClass::Transient,
+                "{spec}: wire faults default to transient"
+            );
+        }
+        let overridden = NetFaultPlan::parse("7:0:drop:poison,7:1:trunc:3:fatal").unwrap();
+        assert_eq!(overridden.fault_at(7, 0).unwrap().class, FaultClass::Poison);
+        assert_eq!(overridden.fault_at(7, 1).unwrap().class, FaultClass::Fatal);
     }
 
     #[test]

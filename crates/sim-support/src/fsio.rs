@@ -53,16 +53,39 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
     }
 }
 
+/// Base delay of the retry backoff schedule, milliseconds.
+const BACKOFF_BASE_MS: u64 = 1;
+/// Ceiling of the retry backoff schedule, milliseconds: ten doublings from
+/// the base — long enough to ride out a real transient stall, short enough
+/// that a bounded retry loop stays test-friendly.
+const BACKOFF_CAP_MS: u64 = 1024;
+
+/// Deterministic exponential backoff schedule: `base << attempt`, capped.
+/// A pure function of the attempt number, so a retried operation's timing
+/// profile is replayable (and unit-testable without a clock).
+pub fn backoff_delay_ms(attempt: u32) -> u64 {
+    BACKOFF_BASE_MS
+        .checked_shl(attempt)
+        .unwrap_or(BACKOFF_CAP_MS)
+        .min(BACKOFF_CAP_MS)
+}
+
 /// [`write_atomic`] with a bounded retry loop for transient
 /// ([`io::ErrorKind::Interrupted`]) failures — the kind the fault plan
 /// injects. Non-transient errors propagate immediately; after
 /// `max_retries` extra attempts the last error is returned.
+///
+/// Retries back off exponentially per [`backoff_delay_ms`] (1 ms, 2 ms,
+/// 4 ms, … capped at ~1 s) instead of hot-looping: a disk that answered
+/// `Interrupted` twice in a row needs breathing room, not a third attempt
+/// nanoseconds later.
 pub fn write_atomic_retry(path: &Path, bytes: &[u8], max_retries: u32) -> io::Result<()> {
     let mut attempt = 0u32;
     loop {
         match write_atomic(path, bytes) {
             Ok(()) => return Ok(()),
             Err(err) if err.kind() == io::ErrorKind::Interrupted && attempt < max_retries => {
+                std::thread::sleep(std::time::Duration::from_millis(backoff_delay_ms(attempt)));
                 attempt += 1;
             }
             Err(err) => return Err(err),
@@ -179,6 +202,50 @@ mod tests {
         assert_eq!(lines, vec!["{\"cell\":0}", "{\"cell\":1}"]);
         fs::remove_file(&path).unwrap();
         assert!(read_journal_lines(&path).unwrap().is_empty(), "missing ok");
+    }
+
+    #[test]
+    fn backoff_schedule_doubles_and_caps() {
+        assert_eq!(backoff_delay_ms(0), 1);
+        assert_eq!(backoff_delay_ms(1), 2);
+        assert_eq!(backoff_delay_ms(2), 4);
+        assert_eq!(backoff_delay_ms(9), 512);
+        assert_eq!(backoff_delay_ms(10), 1024);
+        assert_eq!(backoff_delay_ms(11), 1024, "capped, not doubling forever");
+        assert_eq!(backoff_delay_ms(63), 1024);
+        assert_eq!(
+            backoff_delay_ms(64),
+            1024,
+            "shift overflow saturates to cap"
+        );
+        // Determinism: the schedule is a pure function of the attempt.
+        let a: Vec<u64> = (0..16).map(backoff_delay_ms).collect();
+        let b: Vec<u64> = (0..16).map(backoff_delay_ms).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn transient_faults_retry_with_backoff_then_succeed() {
+        struct ClearPlan;
+        impl Drop for ClearPlan {
+            fn drop(&mut self) {
+                fault::clear();
+            }
+        }
+        let _guard = ClearPlan;
+        let path = scratch("backoff.json");
+        // Three injected transient failures: attempts 1-3 fail, attempt 4
+        // succeeds. The retry loop must absorb them (sleeping 1+2+4 ms along
+        // the way) and land the write.
+        fault::install(FaultPlan::parse("io=backoff.json:3").unwrap());
+        write_atomic_retry(&path, b"persisted", 3).expect("retries absorb the flakes");
+        assert_eq!(fs::read(&path).unwrap(), b"persisted");
+        // An exhausted budget still reports the transient error.
+        fault::install(FaultPlan::parse("io=backoff.json:3").unwrap());
+        let err = write_atomic_retry(&path, b"x", 2).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        fault::clear();
+        fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -57,7 +57,9 @@ pub mod rng;
 
 pub use bench::{BenchHarness, BenchResult};
 pub use detmap::{DetHashMap, DetHashSet, DetState};
-pub use fault::{Corruption, FaultClass, FaultPlan, Isolated, SimError};
+pub use fault::{
+    Corruption, FaultClass, FaultPlan, Isolated, NetFault, NetFaultKind, NetFaultPlan, SimError,
+};
 pub use pool::{PoolStats, ThreadPool};
 pub use prefetch::prefetch_read;
 pub use rng::{SimRng, SplitMix64};

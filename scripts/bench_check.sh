@@ -18,11 +18,35 @@ cd "$(dirname "$0")/.."
 
 export CARGO_NET_OFFLINE=true
 
-suites=(btb_policies frontend)
+suites=(btb_policies frontend hintd)
+
+# The hintd suite measures real wire latency, so it needs a live server on
+# loopback: serve from a scratch journal dir, drive the standard hintload
+# mix (which writes results/bench_hintd.json), then tear the server down.
+run_hintd_suite() {
+    local dir rc=0
+    dir="$(mktemp -d)"
+    ./target/release/hintd --data-dir "$dir/data" --addr-file "$dir/addr" &
+    local pid=$!
+    for _ in $(seq 1 200); do
+        [[ -s "$dir/addr" ]] && break
+        sleep 0.05
+    done
+    ./target/release/hintload --addr-file "$dir/addr" --out results >/dev/null || rc=$?
+    kill "$pid" 2>/dev/null || true
+    wait "$pid" 2>/dev/null || true
+    rm -rf "$dir"
+    return "$rc"
+}
 
 run_suites() {
+    cargo build --quiet --release -p thermometer-bench -p hintd
     for s in "${suites[@]}"; do
-        cargo bench -p thermometer-bench --bench "$s" >/dev/null
+        if [[ "$s" == hintd ]]; then
+            run_hintd_suite
+        else
+            cargo bench -p thermometer-bench --bench "$s" >/dev/null
+        fi
     done
 }
 

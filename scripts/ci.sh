@@ -68,6 +68,38 @@ env "${smoke_env[@]}" ./target/release/figures fig01 fig09 fig17 \
 cmp "$ft_dir/ref.md" "$ft_dir/resumed.md"
 cmp "$ft_dir/ref.out" "$ft_dir/resumed.out"
 
+echo "==> hintd loopback smoke (serve -> load -> kill -9 -> restart -> byte-identical dumps)"
+hintd_dir="$ft_dir/hintd"
+mkdir -p "$hintd_dir"
+hintd_pid=""
+trap 'if [ -n "$hintd_pid" ]; then kill "$hintd_pid" 2>/dev/null || true; fi; rm -rf "$ft_dir"' EXIT
+wait_addr_file() {
+    for _ in $(seq 1 200); do
+        [ -s "$1" ] && return 0
+        sleep 0.05
+    done
+    echo "hintd never published its address to $1" >&2
+    return 1
+}
+./target/release/hintd --data-dir "$hintd_dir/data" --addr-file "$hintd_dir/addr1" &
+hintd_pid=$!
+wait_addr_file "$hintd_dir/addr1"
+BENCH_ITERS=1 BENCH_WARMUP=0 ./target/release/hintload --addr-file "$hintd_dir/addr1" \
+    --apps 3 --ops 80 --records 800 --out "$hintd_dir" \
+    --dump-tables "$hintd_dir/before.dump" >/dev/null
+# A real SIGKILL: recovery must come from the fsync'd journals alone.
+kill -9 "$hintd_pid"
+wait "$hintd_pid" 2>/dev/null || true
+./target/release/hintd --data-dir "$hintd_dir/data" --addr-file "$hintd_dir/addr2" &
+hintd_pid=$!
+wait_addr_file "$hintd_dir/addr2"
+./target/release/hintload --addr-file "$hintd_dir/addr2" \
+    --apps 3 --dump-only --dump-tables "$hintd_dir/after.dump" >/dev/null
+kill "$hintd_pid" 2>/dev/null || true
+wait "$hintd_pid" 2>/dev/null || true
+hintd_pid=""
+cmp "$hintd_dir/before.dump" "$hintd_dir/after.dump"
+
 echo "==> bench regression guard (>15% median regression vs results/bench_baselines.json fails)"
 ./scripts/bench_check.sh
 
