@@ -7,6 +7,8 @@
 //! figures all --threads 8      # scatter cells over 8 workers
 //! figures all --quarantine --max-retries 1   # survive bad cells
 //! figures all --resume         # splice in work from a crashed run
+//! figures sweep all --shards 4 --dir results/sweep   # fleet of workers
+//! figures merge all --shards 4 --dir results/sweep   # recombine only
 //! ```
 //!
 //! Scale knobs: `THERMO_TRACE_LEN`, `THERMO_CBP_COUNT`, `THERMO_CBP_LEN`,
@@ -24,14 +26,224 @@
 //! attempts. `--resume` replays journaled figures byte-for-byte and
 //! recomputes only the rest. `--fault-plan <spec>` injects deterministic
 //! faults (see `sim_support::fault`) — the crash-resume CI stage uses it.
+//!
+//! Sharded sweeps (DESIGN.md §13): `figures sweep` partitions the figure
+//! list into `--shards N` round-robin shards, runs one supervised worker
+//! process per shard, and merges the shard journals into output
+//! byte-identical to a serial run — stamped `incomplete` (exit 3) when a
+//! poison shard exhausted its restarts. A worker is this same binary with
+//! `--shard i/N`; `--proc-fault <spec>` injects deterministic
+//! process-level faults (`sim_support::ProcFaultPlan`) keyed by
+//! `(shard, attempt)`. `figures merge` recombines existing shard journals
+//! without spawning anything.
 
 use std::time::Instant;
 
 use sim_support::{fault, fsio, pool};
-use thermometer_bench::{figure_by_id, grid, journal, Journal, Scale, FIGURE_IDS};
+use thermometer_bench::{
+    figure_by_id, grid, journal, merge, sweep, Journal, Scale, ShardSpec, SweepConfig, FIGURE_IDS,
+};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("sweep") => {
+            args.remove(0);
+            run_sweep_cli(args);
+        }
+        Some("merge") => {
+            args.remove(0);
+            run_merge_cli(args);
+        }
+        _ => run_worker(args),
+    }
+}
+
+/// Shared flag state for the `sweep` and `merge` subcommands.
+struct SweepArgs {
+    ids: Vec<String>,
+    shards: usize,
+    dir: String,
+    markdown: Option<String>,
+    journal_out: String,
+    cfg_mut: Vec<(String, String)>,
+}
+
+fn parse_sweep_args(args: Vec<String>, merge_only: bool) -> SweepArgs {
+    let mut parsed = SweepArgs {
+        ids: Vec::new(),
+        shards: 0,
+        dir: concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/sweep").to_owned(),
+        markdown: None,
+        journal_out: concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../results/grid_journal.jsonl"
+        )
+        .to_owned(),
+        cfg_mut: Vec::new(),
+    };
+    let mut iter = args.into_iter();
+    let take = |iter: &mut std::vec::IntoIter<String>, flag: &str| {
+        iter.next()
+            .unwrap_or_else(|| usage(&format!("missing value after {flag}")))
+    };
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--shards" => {
+                parsed.shards = take(&mut iter, "--shards")
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --shards"));
+            }
+            "--dir" => parsed.dir = take(&mut iter, "--dir"),
+            "--markdown" => parsed.markdown = Some(take(&mut iter, "--markdown")),
+            "--journal" => parsed.journal_out = take(&mut iter, "--journal"),
+            "--threads" | "--max-retries" | "--fault-plan" | "--proc-fault" | "--max-restarts"
+            | "--tick-ms" | "--stall-ticks" | "--straggler-factor" | "--seed"
+                if !merge_only =>
+            {
+                let value = take(&mut iter, &arg);
+                parsed.cfg_mut.push((arg, value));
+            }
+            "--quarantine" | "--resume" if !merge_only => {
+                parsed.cfg_mut.push((arg, String::new()));
+            }
+            "--help" | "-h" => usage(""),
+            other if other.starts_with("--") => usage(&format!("unknown flag {other}")),
+            other => parsed.ids.push(other.to_owned()),
+        }
+    }
+    if parsed.ids.is_empty() {
+        usage("no figures requested");
+    }
+    if parsed.ids.iter().any(|id| id == "all") {
+        parsed.ids = FIGURE_IDS.iter().map(|s| s.to_string()).collect();
+    }
+    if parsed.shards == 0 {
+        usage("sweep/merge need --shards N (>= 1)");
+    }
+    parsed
+}
+
+fn run_sweep_cli(args: Vec<String>) -> ! {
+    let parsed = parse_sweep_args(args, false);
+    let mut cfg = SweepConfig::new(
+        parsed.ids.clone(),
+        parsed.shards,
+        std::path::PathBuf::from(&parsed.dir),
+    );
+    for (flag, value) in &parsed.cfg_mut {
+        let parse_u64 = || -> u64 {
+            value
+                .parse()
+                .unwrap_or_else(|_| usage(&format!("bad {flag}")))
+        };
+        match flag.as_str() {
+            "--threads" => cfg.worker_threads = Some(parse_u64() as usize),
+            "--quarantine" => cfg.quarantine = true,
+            "--max-retries" => cfg.max_retries = parse_u64() as u32,
+            "--fault-plan" => cfg.fault_plan = Some(value.clone()),
+            "--proc-fault" => {
+                // Validate up front so a typo fails the sweep, not the fleet.
+                sim_support::ProcFaultPlan::parse(value).unwrap_or_else(|e| usage(&e));
+                cfg.proc_fault = Some(value.clone());
+            }
+            "--max-restarts" => cfg.max_restarts = parse_u64() as u32,
+            "--tick-ms" => cfg.tick_ms = parse_u64().max(1),
+            "--stall-ticks" => cfg.stall_ticks = parse_u64().max(1),
+            "--straggler-factor" => cfg.straggler_factor = parse_u64().max(2),
+            "--resume" => cfg.resume = true,
+            "--seed" => cfg.seed = parse_u64(),
+            _ => unreachable!("parse_sweep_args vetted the flag list"),
+        }
+    }
+    let scale = Scale::from_env();
+    eprintln!(
+        "sweep: {} figure(s) over {} shard(s) under {}",
+        cfg.ids.len(),
+        cfg.shards,
+        parsed.dir
+    );
+    let report = sweep::run_sweep(&cfg, &scale).unwrap_or_else(|e| {
+        eprintln!("sweep setup failed: {e}");
+        std::process::exit(1);
+    });
+    for shard in &report.shards {
+        match &shard.outcome {
+            sweep::ShardOutcome::Done => eprintln!(
+                "shard {}/{}: done in {} attempt(s)",
+                shard.number, cfg.shards, shard.attempts
+            ),
+            sweep::ShardOutcome::Quarantined { reason } => eprintln!(
+                "shard {}/{}: QUARANTINED after {} attempt(s): {reason}",
+                shard.number, cfg.shards, shard.attempts
+            ),
+        }
+    }
+    if let Err(e) = sweep::write_sweep_stats(&cfg, &report) {
+        eprintln!("failed to write sweep_stats.json: {e}");
+    }
+    emit_merge_outputs(
+        &report.merge,
+        &scale,
+        parsed.markdown.as_deref(),
+        &parsed.journal_out,
+    );
+}
+
+fn run_merge_cli(args: Vec<String>) -> ! {
+    let parsed = parse_sweep_args(args, true);
+    let scale = Scale::from_env();
+    let outcome = merge::merge_shards(
+        &scale,
+        &parsed.ids,
+        parsed.shards,
+        std::path::Path::new(&parsed.dir),
+    );
+    emit_merge_outputs(
+        &outcome,
+        &scale,
+        parsed.markdown.as_deref(),
+        &parsed.journal_out,
+    );
+}
+
+/// Prints the merged display, writes the merged journal and optional
+/// markdown report, then exits: 0 when complete, 3 when degraded.
+fn emit_merge_outputs(
+    outcome: &merge::MergeOutcome,
+    scale: &Scale,
+    markdown: Option<&str>,
+    journal_out: &str,
+) -> ! {
+    print!("{}", outcome.display);
+    let journal_path = std::path::Path::new(journal_out);
+    if let Err(e) = fsio::write_atomic(journal_path, outcome.journal_bytes().as_bytes()) {
+        eprintln!("failed to write {journal_out}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote {journal_out}");
+    if let Some(path) = markdown {
+        let report = outcome.report(scale);
+        if let Err(e) = fsio::write_atomic_retry(std::path::Path::new(path), report.as_bytes(), 3) {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {path}");
+    }
+    if outcome.is_complete() {
+        std::process::exit(0);
+    }
+    for m in &outcome.missing {
+        eprintln!("missing: {} (shard {}): {}", m.id, m.shard, m.reason);
+    }
+    eprintln!(
+        "merge incomplete: {} figure(s) missing; report stamped incomplete",
+        outcome.missing.len()
+    );
+    std::process::exit(sweep::INCOMPLETE_EXIT_CODE);
+}
+
+fn run_worker(args: Vec<String>) {
     let mut ids: Vec<String> = Vec::new();
     let mut markdown_path: Option<String> = None;
     let mut grid_stats_path =
@@ -45,6 +257,9 @@ fn main() {
     let mut quarantine = false;
     let mut max_retries: u32 = 0;
     let mut fault_plan: Option<String> = None;
+    let mut shard: Option<ShardSpec> = None;
+    let mut attempt: u32 = 0;
+    let mut proc_fault: Option<String> = None;
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -90,6 +305,25 @@ fn main() {
                         .unwrap_or_else(|| usage("missing spec after --fault-plan")),
                 );
             }
+            "--shard" => {
+                let spec = iter
+                    .next()
+                    .unwrap_or_else(|| usage("missing i/N after --shard"));
+                shard = Some(ShardSpec::parse(&spec).unwrap_or_else(|e| usage(&e)));
+            }
+            "--attempt" => {
+                attempt = iter
+                    .next()
+                    .unwrap_or_else(|| usage("missing index after --attempt"))
+                    .parse()
+                    .unwrap_or_else(|_| usage("bad --attempt"));
+            }
+            "--proc-fault" => {
+                proc_fault = Some(
+                    iter.next()
+                        .unwrap_or_else(|| usage("missing spec after --proc-fault")),
+                );
+            }
             "--help" | "-h" => usage(""),
             other => ids.push(other.to_owned()),
         }
@@ -100,10 +334,29 @@ fn main() {
     if ids.iter().any(|id| id == "all") {
         ids = FIGURE_IDS.iter().map(|s| s.to_string()).collect();
     }
+    // Shard filtering happens after `all` expansion so every worker sees
+    // the same canonical list. An empty shard (more shards than figures)
+    // is legal: the worker journals its header and exits cleanly.
+    if let Some(spec) = shard {
+        ids = thermometer_bench::shard::shard_ids(&ids, spec);
+        eprintln!("shard {spec}: {} figure(s)", ids.len());
+    }
 
     if let Some(spec) = &fault_plan {
         let plan = sim_support::FaultPlan::parse(spec).unwrap_or_else(|e| usage(&e));
         fault::install(plan);
+    }
+    if let Some(spec) = &proc_fault {
+        let plan = sim_support::ProcFaultPlan::parse(spec).unwrap_or_else(|e| usage(&e));
+        let number = shard.map_or(1, |s| s.number) as u64;
+        if let Some(planned) = plan.fault_for(number, attempt) {
+            eprintln!(
+                "proc-fault armed: {} after {} cell(s) (shard {number}, attempt {attempt})",
+                planned.kind.name(),
+                planned.after_cells
+            );
+            fault::arm_proc_fault(planned, Some(std::path::PathBuf::from(&journal_path)));
+        }
     }
     if quarantine {
         grid::set_fault_policy(grid::FaultPolicy {
@@ -252,16 +505,7 @@ fn main() {
     }
 
     if let Some(path) = markdown_path {
-        let mut out = String::from("# Regenerated figures\n\n");
-        out.push_str(&format!(
-            "Scale: {} records/app across {} applications; CBP-5 suite {}x{}; IPC-1 suite {}x{}.\n\n",
-            scale.trace_len,
-            scale.apps.len(),
-            scale.cbp_count,
-            scale.cbp_len,
-            scale.ipc1_count,
-            scale.ipc1_len
-        ));
+        let mut out = merge::report_prologue(&scale);
         for section in &sections {
             out.push_str(section);
         }
@@ -284,7 +528,14 @@ fn usage(error: &str) -> ! {
     eprintln!(
         "usage: figures <fig01|...|fig21|all>... [--markdown <path>] [--threads N] \
          [--grid-stats <path>] [--journal <path>] [--resume] [--quarantine] \
-         [--max-retries N] [--fault-plan <spec>]"
+         [--max-retries N] [--fault-plan <spec>] [--shard i/N] [--attempt K] \
+         [--proc-fault <spec>]\n\
+         \x20      figures sweep <ids|all>... --shards N [--dir <path>] [--markdown <path>] \
+         [--journal <path>] [--threads N] [--quarantine] [--max-retries N] \
+         [--fault-plan <spec>] [--proc-fault <spec>] [--max-restarts N] [--tick-ms MS] \
+         [--stall-ticks N] [--straggler-factor N] [--resume] [--seed N]\n\
+         \x20      figures merge <ids|all>... --shards N [--dir <path>] [--markdown <path>] \
+         [--journal <path>]"
     );
     std::process::exit(if error.is_empty() { 0 } else { 2 });
 }

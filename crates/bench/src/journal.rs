@@ -7,7 +7,7 @@
 //! |--------|---------|
 //! | `{"kind":"run","version":1,"fingerprint":…}` | header; resume only trusts a journal whose fingerprint matches the current scale + figure list |
 //! | `{"kind":"cell",…,"status":"done"\|"quarantined",…}` | one grid cell settled (progress + forensics; quarantine records are re-surfaced into `grid_stats.json` on resume) |
-//! | `{"kind":"figure","id":…,"display":…,"markdown":…}` | a whole figure finished rendering — the **replay unit** |
+//! | `{"kind":"figure","id":…,"hash":…,"display":…,"markdown":…}` | a whole figure finished rendering — the **replay unit** |
 //!
 //! The figure record is what resume skips on: cell values are arbitrary
 //! in-memory types (no serde in this workspace), so a half-finished
@@ -18,7 +18,15 @@
 //!
 //! Torn tail lines (a crash mid-append) are dropped by
 //! [`fsio::read_journal_lines`]; a record is only trusted once its
-//! newline hit the disk.
+//! newline hit the disk. [`Journal::load`] — the *owner* of the file —
+//! additionally truncates the torn bytes ([`fsio::repair_torn_tail`]) so
+//! the next append starts on a fresh line; read-only consumers (the sweep
+//! supervisor's progress watermark, `figures merge`) must never truncate a
+//! journal another process may still be writing.
+//!
+//! Figure records carry a content `hash` ([`figure_hash`] over the
+//! display + markdown bytes) so the sweep merge can reject a corrupted
+//! commit instead of splicing garbage into the merged report.
 
 use std::io;
 use std::path::{Path, PathBuf};
@@ -29,8 +37,9 @@ use sim_support::fsio::{self, json_escape};
 use crate::grid::{CellOutcome, Quarantined};
 
 /// Journal format version; bump on any incompatible record change so stale
-/// journals are ignored rather than misread.
-const VERSION: u32 = 1;
+/// journals are ignored rather than misread. v2 added the figure-record
+/// content `hash`.
+const VERSION: u32 = 2;
 
 /// Handle to one on-disk journal file.
 pub struct Journal {
@@ -86,10 +95,7 @@ impl Journal {
             Err(err) if err.kind() == io::ErrorKind::NotFound => {}
             Err(err) => return Err(err),
         }
-        self.append(&format!(
-            "{{\"kind\":\"run\",\"version\":{VERSION},\"fingerprint\":\"{}\"}}",
-            json_escape(fingerprint)
-        ))
+        self.append(&header_line(fingerprint))
     }
 
     /// Loads the journal for a `--resume` run. Returns `Ok(None)` — start
@@ -97,14 +103,15 @@ impl Journal {
     /// unreadable, the version is foreign, or the fingerprint does not
     /// match the current run configuration.
     pub fn load(&self, fingerprint: &str) -> io::Result<Option<Loaded>> {
+        // We own this file: truncate any torn tail from a crashed append so
+        // the records we write next start on a fresh line instead of being
+        // concatenated onto the fragment.
+        fsio::repair_torn_tail(&self.path)?;
         let lines = fsio::read_journal_lines(&self.path)?;
         let Some(header) = lines.first() else {
             return Ok(None);
         };
-        let header_ok = field_str(header, "kind").as_deref() == Some("run")
-            && field_u64(header, "version") == Some(u64::from(VERSION))
-            && field_str(header, "fingerprint").as_deref() == Some(fingerprint);
-        if !header_ok {
+        if !header_matches(header, fingerprint) {
             return Ok(None);
         }
         let mut loaded = Loaded::default();
@@ -146,6 +153,14 @@ impl Journal {
                     ) else {
                         continue;
                     };
+                    // A commit whose content hash disagrees with its bytes
+                    // was corrupted on disk: recompute rather than replay.
+                    if let Some(h) = field_u64(line, "hash") {
+                        if h != figure_hash(&display, &markdown) {
+                            pending_quarantine.retain(|q| q.figure != id);
+                            continue;
+                        }
+                    }
                     loaded
                         .quarantined
                         .extend(pending_quarantine.extract_if(.., |q| q.figure == id));
@@ -190,12 +205,7 @@ impl Journal {
     /// Commits a finished figure: its id plus the exact display/markdown
     /// bytes, making every cell line of that figure authoritative.
     pub fn append_figure(&self, id: &str, display: &str, markdown: &str) -> io::Result<()> {
-        self.append(&format!(
-            "{{\"kind\":\"figure\",\"id\":\"{}\",\"display\":\"{}\",\"markdown\":\"{}\"}}",
-            json_escape(id),
-            json_escape(display),
-            json_escape(markdown)
-        ))
+        self.append(&figure_line(id, display, markdown))
     }
 
     /// Durable append with a bounded retry for injected/transient
@@ -233,8 +243,44 @@ pub fn run_fingerprint(scale: &crate::Scale, ids: &[String]) -> String {
     )
 }
 
+/// Whether a journal header line is this format version and carries the
+/// expected run fingerprint.
+pub(crate) fn header_matches(header: &str, fingerprint: &str) -> bool {
+    field_str(header, "kind").as_deref() == Some("run")
+        && field_u64(header, "version") == Some(u64::from(VERSION))
+        && field_str(header, "fingerprint").as_deref() == Some(fingerprint)
+}
+
+/// The exact header line [`Journal::start`] writes — shared with the sweep
+/// merge so a merged journal is byte-identical to a serial run's.
+pub(crate) fn header_line(fingerprint: &str) -> String {
+    format!(
+        "{{\"kind\":\"run\",\"version\":{VERSION},\"fingerprint\":\"{}\"}}",
+        json_escape(fingerprint)
+    )
+}
+
+/// The exact figure-commit line [`Journal::append_figure`] writes.
+pub(crate) fn figure_line(id: &str, display: &str, markdown: &str) -> String {
+    format!(
+        "{{\"kind\":\"figure\",\"id\":\"{}\",\"hash\":{},\"display\":\"{}\",\"markdown\":\"{}\"}}",
+        json_escape(id),
+        figure_hash(display, markdown),
+        json_escape(display),
+        json_escape(markdown)
+    )
+}
+
+/// Content hash of a figure commit: FNV-1a over the display bytes mixed
+/// with a rotated FNV-1a over the markdown bytes, so swapping the two
+/// fields (same concatenated bytes) still changes the hash.
+pub fn figure_hash(display: &str, markdown: &str) -> u64 {
+    sim_support::fault::fnv1a(display.as_bytes())
+        ^ sim_support::fault::fnv1a(markdown.as_bytes()).rotate_left(17)
+}
+
 /// Extracts `"key":"…"` from one journal line, undoing [`json_escape`].
-fn field_str(line: &str, key: &str) -> Option<String> {
+pub(crate) fn field_str(line: &str, key: &str) -> Option<String> {
     let marker = format!("\"{key}\":\"");
     let start = line.find(&marker)? + marker.len();
     let bytes = line.as_bytes();
@@ -274,7 +320,7 @@ fn field_str(line: &str, key: &str) -> Option<String> {
 }
 
 /// Extracts `"key":123` from one journal line.
-fn field_u64(line: &str, key: &str) -> Option<u64> {
+pub(crate) fn field_u64(line: &str, key: &str) -> Option<u64> {
     let marker = format!("\"{key}\":");
     let start = line.find(&marker)? + marker.len();
     let digits: String = line[start..]
@@ -380,6 +426,43 @@ mod tests {
         let loaded = journal.load("fp").unwrap().unwrap();
         assert_eq!(loaded.figures.len(), 1, "torn record must not surface");
         assert_eq!(loaded.figures[0].id, "fig01");
+    }
+
+    #[test]
+    fn load_repairs_torn_tail_so_next_append_lands_on_fresh_line() {
+        use std::io::Write as _;
+        let path = scratch("torn-repair.jsonl");
+        let journal = Journal::new(&path);
+        journal.start("fp").unwrap();
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(b"{\"kind\":\"figure\",\"id\":\"fig01\",\"disp")
+            .unwrap();
+        drop(f);
+        journal.load("fp").unwrap().unwrap();
+        journal.append_figure("fig02", "d2", "m2").unwrap();
+        let loaded = journal.load("fp").unwrap().unwrap();
+        assert_eq!(loaded.figures.len(), 1, "torn bytes truncated, not fused");
+        assert_eq!(loaded.figures[0].id, "fig02");
+    }
+
+    #[test]
+    fn corrupt_figure_hash_forces_recompute() {
+        let path = scratch("badhash.jsonl");
+        let journal = Journal::new(&path);
+        journal.start("fp").unwrap();
+        journal.append_figure("fig01", "good", "bytes").unwrap();
+        // Flip the committed display bytes without updating the hash, as a
+        // disk corruption would.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, text.replace("good", "evil")).unwrap();
+        let loaded = journal.load("fp").unwrap().unwrap();
+        assert!(
+            loaded.figure("fig01").is_none(),
+            "hash mismatch must not replay"
+        );
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Shard arithmetic for fleet-scale sweeps.
+//!
+//! A sweep partitions the requested figure list into `N` shards; shard `i`
+//! (1-based, as printed in `--shard i/N`) owns every figure whose canonical
+//! index `k` satisfies `k % N == i - 1`. Round-robin assignment keeps the
+//! expensive suite figures (fig17/fig18, hundreds of cells each) from
+//! piling onto one shard the way contiguous chunking would.
+//!
+//! The partition is a pure function of `(len, i, N)` — no RNG, no
+//! scheduling — so the supervisor, the workers, and the merge step all
+//! agree on who owns what without communicating. `tests/grid_parallel.rs`
+//! pins the three properties everything downstream assumes: shards are
+//! **disjoint**, **exhaustive**, and **stable** across calls.
+
+/// A parsed `--shard i/N` spec: 1-based shard number and total count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// 1-based shard number (`1 <= number <= count`).
+    pub number: usize,
+    /// Total shards in the sweep (`>= 1`).
+    pub count: usize,
+}
+
+impl ShardSpec {
+    /// Parses `"i/N"` with `1 <= i <= N`.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let (i, n) = spec
+            .split_once('/')
+            .ok_or_else(|| format!("shard spec {spec:?} is not i/N"))?;
+        let number: usize = i
+            .trim()
+            .parse()
+            .map_err(|_| format!("shard spec {spec:?}: bad shard number"))?;
+        let count: usize = n
+            .trim()
+            .parse()
+            .map_err(|_| format!("shard spec {spec:?}: bad shard count"))?;
+        if count == 0 {
+            return Err(format!("shard spec {spec:?}: count must be >= 1"));
+        }
+        if number == 0 || number > count {
+            return Err(format!(
+                "shard spec {spec:?}: shard number is 1-based and <= count"
+            ));
+        }
+        Ok(ShardSpec { number, count })
+    }
+
+    /// The zero-based residue this shard selects.
+    pub fn residue(self) -> usize {
+        self.number - 1
+    }
+}
+
+impl std::fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.number, self.count)
+    }
+}
+
+/// Canonical indices owned by shard `number` (1-based) of `count` over a
+/// list of `len` items: `{ k | k % count == number - 1 }`, ascending.
+pub fn shard_indices(len: usize, number: usize, count: usize) -> Vec<usize> {
+    assert!(count >= 1 && number >= 1 && number <= count, "bad shard");
+    (0..len).filter(|k| k % count == number - 1).collect()
+}
+
+/// The figure ids owned by one shard, in canonical (input) order.
+pub fn shard_ids(ids: &[String], spec: ShardSpec) -> Vec<String> {
+    shard_indices(ids.len(), spec.number, spec.count)
+        .into_iter()
+        .map(|k| ids[k].clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_human_style_specs_and_rejects_nonsense() {
+        assert_eq!(
+            ShardSpec::parse("1/4").unwrap(),
+            ShardSpec {
+                number: 1,
+                count: 4
+            }
+        );
+        assert_eq!(ShardSpec::parse("4/4").unwrap().residue(), 3);
+        assert_eq!(ShardSpec::parse("1/1").unwrap().residue(), 0);
+        assert_eq!(ShardSpec::parse("2/8").unwrap().to_string(), "2/8");
+        assert!(ShardSpec::parse("0/4").is_err(), "1-based");
+        assert!(ShardSpec::parse("5/4").is_err(), "number <= count");
+        assert!(ShardSpec::parse("1/0").is_err(), "count >= 1");
+        assert!(ShardSpec::parse("14").is_err(), "missing slash");
+        assert!(ShardSpec::parse("a/b").is_err(), "not numbers");
+    }
+
+    #[test]
+    fn round_robin_assignment_is_balanced() {
+        for n in 1..=8usize {
+            let sizes: Vec<usize> = (1..=n).map(|i| shard_indices(24, i, n).len()).collect();
+            let (min, max) = (*sizes.iter().min().unwrap(), *sizes.iter().max().unwrap());
+            assert!(max - min <= 1, "unbalanced shards for n={n}: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let ids: Vec<String> = ["a", "b", "c"].iter().map(|s| s.to_string()).collect();
+        let spec = ShardSpec::parse("1/1").unwrap();
+        assert_eq!(shard_ids(&ids, spec), ids);
+    }
+}

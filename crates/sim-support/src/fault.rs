@@ -338,6 +338,7 @@ pub fn install(plan: FaultPlan) {
 /// Removes the installed plan; subsequent checks are no-ops.
 pub fn clear() {
     *PLAN.lock().expect("fault plan registry poisoned") = None;
+    *PROC_FAULT.lock().expect("proc fault slot poisoned") = None;
     CELLS_COMPLETED.store(0, Ordering::SeqCst);
 }
 
@@ -371,8 +372,9 @@ pub fn cell_attempt(figure: &str, index: usize, attempt: u32) {
 }
 
 /// Crash checkpoint: counts journaled cells and, when the plan's
-/// `exit-after` threshold is reached, kills the process with
-/// [`CRASH_EXIT_CODE`] — simulating a mid-run crash for the resume tests.
+/// `exit-after` threshold (or an armed [`ProcFault`]) is reached, performs
+/// the planned process-level failure — simulating a mid-run crash for the
+/// resume tests and the shard-supervisor battery.
 pub fn cell_completed() {
     let exit_after = {
         let guard = PLAN.lock().expect("fault plan registry poisoned");
@@ -385,6 +387,7 @@ pub fn cell_completed() {
             std::process::exit(CRASH_EXIT_CODE);
         }
     }
+    maybe_fire_proc_fault(done);
 }
 
 /// Injection checkpoint for `results/` writes: returns an injected
@@ -691,6 +694,221 @@ impl NetFaultPlan {
     }
 }
 
+/// A process-level fault: how a sharded-sweep worker process dies (or
+/// misbehaves) once it has journaled `after_cells` grid cells. Unlike the
+/// in-process [`FaultPlan`] checkpoints — which panic *inside* a cell and
+/// are healed by `fault::isolated` — these simulate the failure modes a
+/// shard **supervisor** must survive: the whole worker disappearing,
+/// wedging, or lying about success.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProcFaultKind {
+    /// `process::exit(CRASH_EXIT_CODE)` mid-sweep — the moral equivalent of
+    /// an OOM kill or `kill -9`; the fsync'd journal is all that survives.
+    Die,
+    /// The worker stops making progress but never exits: an infinite
+    /// bounded-sleep loop. Only the supervisor's journal-watermark
+    /// heartbeat (or an external `kill -9`) can clear it.
+    Hang,
+    /// A torn-journal exit: raw non-newline-terminated bytes (including an
+    /// invalid-UTF-8 byte) are appended to the journal, then the process
+    /// dies — the on-disk state a power loss mid-`write(2)` leaves behind.
+    TornJournal,
+    /// The worker prints garbage to stdout and exits **0** without
+    /// finishing its shard: a false success the supervisor must catch via
+    /// journal-coverage verification, never via exit status.
+    GarbageStdout,
+}
+
+impl ProcFaultKind {
+    /// Lower-case spec name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProcFaultKind::Die => "die",
+            ProcFaultKind::Hang => "hang",
+            ProcFaultKind::TornJournal => "torn",
+            ProcFaultKind::GarbageStdout => "garbage",
+        }
+    }
+}
+
+/// One planned process-level fault, armed inside a sweep worker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProcFault {
+    /// What the worker does at the trigger point.
+    pub kind: ProcFaultKind,
+    /// Grid cells journaled before the fault fires (≥ 1).
+    pub after_cells: u64,
+}
+
+/// A deterministic process-fault plan for sharded sweeps, keyed by
+/// `(shard, attempt)` so every failure mode is exactly reproducible: the
+/// supervisor forwards the spec to each worker, and the worker arms only
+/// the entry addressed to its own coordinates. A restart (next attempt)
+/// therefore sees a *different* key — typically clean, letting the sweep
+/// converge; listing every attempt simulates a poison shard.
+///
+/// # Spec grammar
+///
+/// Comma-separated entries `SHARD:ATTEMPT:KIND[:AFTER]` (`SHARD` is the
+/// 1-based shard number shown in `--shard i/N`; `AFTER` defaults to 1):
+///
+/// | entry | meaning |
+/// |-------|---------|
+/// | `2:0:die:3`   | shard 2's first attempt exits after 3 journaled cells |
+/// | `1:0:hang:2`  | shard 1's first attempt wedges after 2 cells |
+/// | `3:1:torn`    | shard 3's first *restart* tears its journal and dies |
+/// | `4:0:garbage` | shard 4 prints garbage and exits 0 without finishing |
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProcFaultPlan {
+    entries: Vec<(u64, u32, ProcFault)>,
+}
+
+impl ProcFaultPlan {
+    /// Parses the spec grammar above. An empty spec is an empty plan.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = ProcFaultPlan::default();
+        for entry in spec.split(',').filter(|e| !e.trim().is_empty()) {
+            let parts: Vec<&str> = entry.trim().split(':').collect();
+            if parts.len() < 3 {
+                return Err(format!(
+                    "proc-fault entry {entry:?} wants SHARD:ATTEMPT:KIND[:AFTER]"
+                ));
+            }
+            let shard: u64 = parts[0]
+                .parse()
+                .map_err(|_| format!("proc-fault {entry:?}: bad shard number"))?;
+            if shard == 0 {
+                return Err(format!(
+                    "proc-fault {entry:?}: shards are 1-based (as in --shard i/N)"
+                ));
+            }
+            let attempt: u32 = parts[1]
+                .parse()
+                .map_err(|_| format!("proc-fault {entry:?}: bad attempt index"))?;
+            let kind = match parts[2] {
+                "die" => ProcFaultKind::Die,
+                "hang" => ProcFaultKind::Hang,
+                "torn" => ProcFaultKind::TornJournal,
+                "garbage" => ProcFaultKind::GarbageStdout,
+                other => return Err(format!("unknown proc-fault kind {other:?}")),
+            };
+            let after_cells = match parts.get(3) {
+                Some(n) => n
+                    .parse()
+                    .map_err(|_| format!("proc-fault {entry:?}: bad cell count"))?,
+                None => 1,
+            };
+            if after_cells == 0 {
+                return Err(format!("proc-fault {entry:?}: AFTER must be >= 1"));
+            }
+            if parts.len() > 4 {
+                return Err(format!("proc-fault {entry:?}: trailing fields"));
+            }
+            plan.entries
+                .push((shard, attempt, ProcFault { kind, after_cells }));
+        }
+        Ok(plan)
+    }
+
+    /// The fault planned for `(shard, attempt)`, if any — a pure function
+    /// of the plan and the coordinates; the first matching entry wins.
+    pub fn fault_for(&self, shard: u64, attempt: u32) -> Option<ProcFault> {
+        self.entries
+            .iter()
+            .find(|(s, a, _)| *s == shard && *a == attempt)
+            .map(|(_, _, fault)| fault.clone())
+    }
+
+    /// Whether the plan has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of planned faults.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// An armed process fault plus the journal path [`ProcFaultKind::TornJournal`]
+/// tears. At most one fault is armed per process (one worker = one shard
+/// attempt = one plan entry).
+struct ArmedProcFault {
+    fault: ProcFault,
+    journal_path: Option<std::path::PathBuf>,
+}
+
+// simlint: allow(D03) -- armed-fault slot; written once at worker startup, read at the cell checkpoint
+static PROC_FAULT: Mutex<Option<ArmedProcFault>> = Mutex::new(None);
+
+/// Arms `fault` in this process; it fires inside [`cell_completed`] once
+/// the journaled-cell count reaches `fault.after_cells`. `journal_path`
+/// is required by the torn-journal kind (it must tear the real journal).
+pub fn arm_proc_fault(fault: ProcFault, journal_path: Option<std::path::PathBuf>) {
+    *PROC_FAULT.lock().expect("proc fault slot poisoned") = Some(ArmedProcFault {
+        fault,
+        journal_path,
+    });
+}
+
+/// Disarms any armed process fault (also done by [`clear`]).
+pub fn disarm_proc_fault() {
+    *PROC_FAULT.lock().expect("proc fault slot poisoned") = None;
+}
+
+/// Fires the armed process fault, if its cell threshold is met. Never
+/// returns when a fault actually fires (exit or hang).
+fn maybe_fire_proc_fault(cells_done: u64) {
+    let armed = {
+        let mut guard = PROC_FAULT.lock().expect("proc fault slot poisoned");
+        match guard.as_ref() {
+            Some(armed) if cells_done >= armed.fault.after_cells => guard.take(),
+            _ => None,
+        }
+    };
+    let Some(armed) = armed else { return };
+    match armed.fault.kind {
+        ProcFaultKind::Die => {
+            eprintln!("proc fault: dying after {cells_done} journaled cells");
+            std::process::exit(CRASH_EXIT_CODE);
+        }
+        ProcFaultKind::Hang => {
+            eprintln!("proc fault: hanging after {cells_done} journaled cells");
+            // Wedge without burning a core; only the supervisor's
+            // heartbeat timeout (or kill -9) clears this state.
+            loop {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+        }
+        ProcFaultKind::TornJournal => {
+            eprintln!("proc fault: tearing journal after {cells_done} journaled cells");
+            if let Some(path) = &armed.journal_path {
+                use std::io::Write as _;
+                // Raw append, no newline, invalid UTF-8 mid-record: the
+                // exact bytes a power loss mid-write leaves behind. The
+                // fsync matters — the *torn* state must itself be durable
+                // for the resume path to prove it tolerates it.
+                if let Ok(mut f) = std::fs::OpenOptions::new().append(true).open(path) {
+                    let _ = f.write_all(b"{\"kind\":\"cell\",\"figure\":\"t\xFForn");
+                    let _ = f.sync_all();
+                }
+            }
+            std::process::exit(CRASH_EXIT_CODE);
+        }
+        ProcFaultKind::GarbageStdout => {
+            use std::io::Write as _;
+            eprintln!("proc fault: garbage stdout + false success after {cells_done} cells");
+            let mut out = std::io::stdout();
+            let _ = out.write_all(&[0xA5u8; 64]);
+            let _ = out.write_all(b"\x00GARBAGE NOT A FIGURE\x00");
+            let _ = out.flush();
+            // Exit 0: the lie. Supervisors must verify journal coverage,
+            // not trust exit status.
+            std::process::exit(0);
+        }
+    }
+}
+
 /// FNV-1a over a byte string; the workspace's standard cheap stable hash
 /// (fault-site draws here, shard selection in `hintd`).
 pub fn fnv1a(bytes: &[u8]) -> u64 {
@@ -890,6 +1108,79 @@ mod tests {
         let overridden = NetFaultPlan::parse("7:0:drop:poison,7:1:trunc:3:fatal").unwrap();
         assert_eq!(overridden.fault_at(7, 0).unwrap().class, FaultClass::Poison);
         assert_eq!(overridden.fault_at(7, 1).unwrap().class, FaultClass::Fatal);
+    }
+
+    #[test]
+    fn proc_fault_plan_round_trips_the_grammar() {
+        let plan =
+            ProcFaultPlan::parse("2:0:die:3,1:0:hang:2,3:1:torn,4:0:garbage").expect("valid spec");
+        assert_eq!(plan.len(), 4);
+        assert_eq!(
+            plan.fault_for(2, 0),
+            Some(ProcFault {
+                kind: ProcFaultKind::Die,
+                after_cells: 3,
+            })
+        );
+        assert_eq!(
+            plan.fault_for(1, 0).map(|f| f.kind),
+            Some(ProcFaultKind::Hang)
+        );
+        assert_eq!(
+            plan.fault_for(3, 1),
+            Some(ProcFault {
+                kind: ProcFaultKind::TornJournal,
+                after_cells: 1,
+            }),
+            "AFTER defaults to 1"
+        );
+        assert_eq!(
+            plan.fault_for(4, 0).map(|f| f.kind),
+            Some(ProcFaultKind::GarbageStdout)
+        );
+        // Keyed by (shard, attempt): a restart of shard 2 is clean.
+        assert_eq!(plan.fault_for(2, 1), None);
+        assert_eq!(plan.fault_for(5, 0), None, "unplanned shard is clean");
+        assert!(ProcFaultPlan::parse("").unwrap().is_empty());
+
+        assert!(ProcFaultPlan::parse("1:die").is_err(), "missing attempt");
+        assert!(
+            ProcFaultPlan::parse("0:0:die").is_err(),
+            "shards are 1-based"
+        );
+        assert!(ProcFaultPlan::parse("1:0:explode").is_err(), "unknown kind");
+        assert!(ProcFaultPlan::parse("1:0:die:0").is_err(), "AFTER >= 1");
+        assert!(
+            ProcFaultPlan::parse("1:0:die:1:x").is_err(),
+            "trailing fields rejected"
+        );
+    }
+
+    #[test]
+    fn proc_fault_lookup_is_deterministic_and_first_match_wins() {
+        let plan = ProcFaultPlan::parse("1:0:die:5,1:0:hang:9").unwrap();
+        let a = plan.fault_for(1, 0);
+        let b = plan.fault_for(1, 0);
+        assert_eq!(a, b, "same coordinates => same fault");
+        assert_eq!(a.map(|f| f.kind), Some(ProcFaultKind::Die));
+    }
+
+    #[test]
+    fn arming_below_threshold_is_inert_and_disarm_clears() {
+        let _guard = ClearPlan;
+        arm_proc_fault(
+            ProcFault {
+                kind: ProcFaultKind::Die,
+                after_cells: u64::MAX,
+            },
+            None,
+        );
+        // Threshold unreachable: the checkpoint must be a no-op.
+        cell_completed();
+        cell_completed();
+        disarm_proc_fault();
+        clear();
+        cell_completed();
     }
 
     #[test]

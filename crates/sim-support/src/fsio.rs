@@ -44,7 +44,16 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
         file.sync_all()?;
     }
     match fs::rename(&tmp, path) {
-        Ok(()) => Ok(()),
+        Ok(()) => {
+            // Durability contract: fsyncing the renamed file makes its
+            // *bytes* durable, but the rename itself lives in the parent
+            // directory's entries — on power loss before a directory sync,
+            // the file can legally revert to the old version or vanish.
+            // Shard journals and merged reports must survive power loss,
+            // not just process kill, so the parent is synced too.
+            fsync_parent_dir(path);
+            Ok(())
+        }
         Err(err) => {
             // Leave the filesystem as close to untouched as we can.
             let _ = fs::remove_file(&tmp);
@@ -105,37 +114,109 @@ pub fn append_line_durable(path: &Path, line: &str) -> io::Result<()> {
             fs::create_dir_all(parent)?;
         }
     }
+    // Durability contract: appended bytes are made durable by the file
+    // fsync below, but the journal's *existence* (its directory entry) is
+    // only durable once the parent directory is synced. A journal created,
+    // written, and fsync'd can still vanish wholesale on power loss if the
+    // parent entry never hit disk — so the first append to a fresh file
+    // syncs the directory too. Appends to an existing file don't touch the
+    // directory entry and skip that cost.
+    let created = !path.exists();
     let mut file = OpenOptions::new().create(true).append(true).open(path)?;
     file.write_all(line.as_bytes())?;
     if !line.ends_with('\n') {
         file.write_all(b"\n")?;
     }
     file.sync_all()?;
+    if created {
+        fsync_parent_dir(path);
+    }
     Ok(())
+}
+
+/// Fsyncs `path`'s parent directory so renames/creations of `path` survive
+/// power loss (see the durability contract notes in [`write_atomic`] /
+/// [`append_line_durable`]). Best-effort on platforms where directories
+/// cannot be opened for sync; errors are deliberately swallowed — the data
+/// write already succeeded, and a failed directory sync only narrows the
+/// power-loss window back to the pre-contract behaviour.
+fn fsync_parent_dir(path: &Path) {
+    #[cfg(unix)]
+    {
+        let parent = match path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = path;
+    }
 }
 
 /// Reads a journal written by [`append_line_durable`], returning complete
 /// lines only: a torn final line (no trailing newline — the crash landed
 /// mid-append despite our fsync discipline, e.g. on a different
-/// filesystem) is dropped rather than parsed. A missing file is an empty
-/// journal.
+/// filesystem) is **uncommitted**, dropped rather than parsed or errored
+/// on. The read is byte-based, so a torn tail containing invalid UTF-8 (a
+/// power loss mid-`write(2)` leaves arbitrary bytes) cannot poison the
+/// committed prefix; a non-UTF-8 *complete* line marks the start of a
+/// corrupt region — it and everything after it are treated as
+/// uncommitted. A missing file is an empty journal.
 pub fn read_journal_lines(path: &Path) -> io::Result<Vec<String>> {
-    let text = match fs::read_to_string(path) {
-        Ok(text) => text,
+    let bytes = match fs::read(path) {
+        Ok(bytes) => bytes,
         Err(err) if err.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
         Err(err) => return Err(err),
     };
     let mut lines: Vec<String> = Vec::new();
-    let complete = match text.rfind('\n') {
-        Some(last) => &text[..=last],
+    let complete = match bytes.iter().rposition(|&b| b == b'\n') {
+        Some(last) => &bytes[..=last],
         None => return Ok(lines), // single torn line
     };
-    for line in complete.lines() {
-        if !line.trim().is_empty() {
-            lines.push(line.to_owned());
+    for raw in complete.split(|&b| b == b'\n') {
+        match std::str::from_utf8(raw) {
+            Ok(line) => {
+                if !line.trim().is_empty() {
+                    lines.push(line.to_owned());
+                }
+            }
+            // Corrupt region: nothing after the first bad line is trusted.
+            Err(_) => break,
         }
     }
     Ok(lines)
+}
+
+/// Truncates a torn (non-newline-terminated) tail off a journal, returning
+/// the number of bytes removed. By the [`append_line_durable`] contract,
+/// bytes after the last newline were never acknowledged as committed, so
+/// removing them loses nothing — and *not* removing them would corrupt the
+/// next append, which would land on the same line as the torn fragment.
+/// Callers that reopen a journal for writing (resume) must repair first;
+/// read-only consumers rely on [`read_journal_lines`]'s tolerance instead.
+/// A missing file is a no-op.
+pub fn repair_torn_tail(path: &Path) -> io::Result<u64> {
+    let bytes = match fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(err) if err.kind() == io::ErrorKind::NotFound => return Ok(0),
+        Err(err) => return Err(err),
+    };
+    if bytes.last().is_none_or(|&b| b == b'\n') {
+        return Ok(0);
+    }
+    let keep = bytes
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map_or(0, |last| last + 1) as u64;
+    let torn = bytes.len() as u64 - keep;
+    let file = OpenOptions::new().write(true).open(path)?;
+    file.set_len(keep)?;
+    file.sync_all()?;
+    Ok(torn)
 }
 
 /// Escapes `s` as the body of a JSON string literal (no surrounding
@@ -202,6 +283,39 @@ mod tests {
         assert_eq!(lines, vec!["{\"cell\":0}", "{\"cell\":1}"]);
         fs::remove_file(&path).unwrap();
         assert!(read_journal_lines(&path).unwrap().is_empty(), "missing ok");
+    }
+
+    #[test]
+    fn torn_tail_with_invalid_utf8_is_uncommitted_not_an_error() {
+        let path = scratch("torn_utf8.jsonl");
+        let _ = fs::remove_file(&path);
+        append_line_durable(&path, "{\"cell\":0}").unwrap();
+        // A power-loss-style tear: partial record, invalid UTF-8, no newline.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"cell\":1,\"lab\xFF\xFE").unwrap();
+        drop(f);
+        let lines = read_journal_lines(&path).unwrap();
+        assert_eq!(lines, vec!["{\"cell\":0}"], "torn tail must be dropped");
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn repair_torn_tail_truncates_only_uncommitted_bytes() {
+        let path = scratch("repair.jsonl");
+        let _ = fs::remove_file(&path);
+        assert_eq!(repair_torn_tail(&path).unwrap(), 0, "missing file: no-op");
+        append_line_durable(&path, "{\"cell\":0}").unwrap();
+        assert_eq!(repair_torn_tail(&path).unwrap(), 0, "clean file: no-op");
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"cell\":1,\"x\xFF").unwrap();
+        drop(f);
+        assert_eq!(repair_torn_tail(&path).unwrap(), 13, "torn bytes removed");
+        // After repair, a fresh append starts a clean line — the corrupt
+        // concatenation hazard the repair exists to prevent.
+        append_line_durable(&path, "{\"cell\":2}").unwrap();
+        let lines = read_journal_lines(&path).unwrap();
+        assert_eq!(lines, vec!["{\"cell\":0}", "{\"cell\":2}"]);
+        fs::remove_file(&path).unwrap();
     }
 
     #[test]

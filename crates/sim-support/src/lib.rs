@@ -58,7 +58,8 @@ pub mod rng;
 pub use bench::{BenchHarness, BenchResult};
 pub use detmap::{DetHashMap, DetHashSet, DetState};
 pub use fault::{
-    Corruption, FaultClass, FaultPlan, Isolated, NetFault, NetFaultKind, NetFaultPlan, SimError,
+    Corruption, FaultClass, FaultPlan, Isolated, NetFault, NetFaultKind, NetFaultPlan, ProcFault,
+    ProcFaultKind, ProcFaultPlan, SimError,
 };
 pub use pool::{PoolStats, ThreadPool};
 pub use prefetch::prefetch_read;

@@ -134,6 +134,63 @@ fn transient_fault_retries_to_a_byte_identical_figure() {
     );
 }
 
+/// ISSUE 10 satellite regression: a torn (truncated, non-newline-
+/// terminated) final journal line — the on-disk state a power loss or
+/// `kill -9` mid-`write(2)` leaves behind, possibly with invalid UTF-8 —
+/// is treated as **uncommitted**, never as a replay error, and the
+/// journal's owner truncates it so the next append lands cleanly.
+#[test]
+fn torn_journal_tail_is_uncommitted_not_an_error() {
+    use std::io::Write as _;
+    let _exclusive = EXCLUSIVE.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = std::env::temp_dir().join("fault-tolerance-tests");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let path = dir.join("torn-tail.jsonl");
+    let _ = std::fs::remove_file(&path);
+
+    let journal = thermometer_bench::Journal::new(&path);
+    journal.start("fp-torn").expect("start");
+    journal
+        .append_figure("fig01", "display one\n", "| a |\n")
+        .expect("commit fig01");
+    // Tear the tail mid-record, with an invalid-UTF-8 byte for good
+    // measure — exactly what ProcFaultKind::TornJournal injects.
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(&path)
+        .expect("reopen journal");
+    f.write_all(b"{\"kind\":\"figure\",\"figure\":\"t\xFForn")
+        .expect("tear tail");
+    drop(f);
+
+    // Replay: the torn bytes are invisible, fig01 survives.
+    let loaded = journal
+        .load("fp-torn")
+        .expect("torn tail must not error")
+        .expect("fingerprint still matches");
+    assert_eq!(loaded.figures.len(), 1, "committed figure lost");
+    assert_eq!(loaded.figures[0].id, "fig01");
+
+    // Load repaired the tail (owner semantics): the next append starts a
+    // fresh line and both commits replay.
+    journal
+        .append_figure("fig02", "display two\n", "| b |\n")
+        .expect("append after repair");
+    let reloaded = journal
+        .load("fp-torn")
+        .expect("reload")
+        .expect("fingerprint matches");
+    assert_eq!(
+        reloaded
+            .figures
+            .iter()
+            .map(|f| f.id.as_str())
+            .collect::<Vec<_>>(),
+        vec!["fig01", "fig02"],
+        "append after torn tail must not fuse records"
+    );
+}
+
 #[test]
 fn quarantine_outcome_is_thread_count_invariant() {
     let _exclusive = EXCLUSIVE.lock().unwrap_or_else(|e| e.into_inner());
